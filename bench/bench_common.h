@@ -1,0 +1,83 @@
+// Shared helpers for the benchmark harness binaries.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/dynamic_adversaries.h"
+#include "adversary/static_adversaries.h"
+#include "net/diameter.h"
+#include "sim/engine.h"
+
+namespace dynet::bench {
+
+inline std::unique_ptr<sim::Adversary> makeAdversary(const std::string& name,
+                                                     sim::NodeId n,
+                                                     std::uint64_t seed) {
+  if (name == "static_path") {
+    return std::make_unique<adv::StaticAdversary>(net::makePath(n));
+  }
+  if (name == "static_star") {
+    return std::make_unique<adv::StaticAdversary>(net::makeStar(n));
+  }
+  if (name == "static_ring") {
+    return std::make_unique<adv::StaticAdversary>(net::makeRing(n));
+  }
+  if (name == "random_tree") {
+    return std::make_unique<adv::RandomTreeAdversary>(n, seed);
+  }
+  if (name == "rotating_star") {
+    return std::make_unique<adv::RotatingStarAdversary>(n);
+  }
+  if (name == "anchored_star") {
+    return std::make_unique<adv::AnchoredStarAdversary>(n, seed);
+  }
+  if (name == "shuffle_path") {
+    return std::make_unique<adv::ShufflePathAdversary>(n, seed);
+  }
+  if (name == "interval") {
+    return std::make_unique<adv::IntervalAdversary>(n, 8, seed);
+  }
+  std::cerr << "unknown adversary " << name << "\n";
+  std::exit(2);
+}
+
+inline std::vector<std::string> zooNames() {
+  return {"static_path", "static_star", "random_tree", "anchored_star",
+          "rotating_star", "shuffle_path", "interval"};
+}
+
+/// Builds an engine over `factory` and the named adversary.
+inline sim::Engine makeEngine(const sim::ProcessFactory& factory,
+                              std::unique_ptr<sim::Adversary> adversary,
+                              sim::Round max_rounds, std::uint64_t seed,
+                              bool record = false) {
+  const sim::NodeId n = adversary->numNodes();
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  ps.reserve(static_cast<std::size_t>(n));
+  for (sim::NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = max_rounds;
+  config.record_topologies = record;
+  return sim::Engine(std::move(ps), std::move(adversary), config, seed);
+}
+
+/// Realized dynamic diameter of the named adversary at size n (recorded
+/// over a quiet run; max over a few dozen start rounds).
+inline int measuredDiameter(const std::string& name, sim::NodeId n,
+                            std::uint64_t seed) {
+  auto adversary = makeAdversary(name, n, seed);
+  net::TopologySeq topologies;
+  const sim::Round horizon = 4 * n + 32;
+  std::vector<sim::Action> receiving(static_cast<std::size_t>(n));
+  for (sim::Round r = 1; r <= horizon; ++r) {
+    topologies.push_back(adversary->topology(r, {receiving}));
+  }
+  return net::dynamicDiameter(topologies, 16);
+}
+
+}  // namespace dynet::bench

@@ -1,0 +1,87 @@
+// E9 — infrastructure throughput (google-benchmark): round-engine
+// node-rounds/sec across adversaries, dynamic-diameter solves, and the
+// Γ/Λ adversary edge generation that dominates reduction runs.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cc/disjointness_cp.h"
+#include "lowerbound/composition.h"
+#include "protocols/max_flood.h"
+#include "protocols/oracles.h"
+
+namespace dynet {
+namespace {
+
+void BM_EngineMaxFlood(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeId>(state.range(0));
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(n), 1);
+  std::int64_t node_rounds = 0;
+  for (auto _ : state) {
+    proto::MaxFloodFactory factory(values, 8, 1 << 20);
+    auto engine = bench::makeEngine(
+        factory, bench::makeAdversary("rotating_star", n, 42), 256, 7);
+    for (int r = 0; r < 256; ++r) {
+      engine.step();
+    }
+    node_rounds += 256 * n;
+    benchmark::DoNotOptimize(engine.result().bits_sent);
+  }
+  state.counters["node_rounds/s"] = benchmark::Counter(
+      static_cast<double>(node_rounds), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineMaxFlood)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EngineRandomTree(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeId>(state.range(0));
+  std::int64_t node_rounds = 0;
+  for (auto _ : state) {
+    proto::RandomBabblerFactory factory(24);
+    auto engine = bench::makeEngine(
+        factory, bench::makeAdversary("random_tree", n, 42), 128, 7);
+    for (int r = 0; r < 128; ++r) {
+      engine.step();
+    }
+    node_rounds += 128 * n;
+    benchmark::DoNotOptimize(engine.result().bits_sent);
+  }
+  state.counters["node_rounds/s"] = benchmark::Counter(
+      static_cast<double>(node_rounds), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineRandomTree)->Arg(256)->Arg(1024);
+
+void BM_DynamicDiameter(benchmark::State& state) {
+  const auto n = static_cast<sim::NodeId>(state.range(0));
+  auto adversary = bench::makeAdversary("shuffle_path", n, 9);
+  net::TopologySeq topologies;
+  std::vector<sim::Action> receiving(static_cast<std::size_t>(n));
+  for (sim::Round r = 1; r <= 3 * n; ++r) {
+    topologies.push_back(adversary->topology(r, {receiving}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::dynamicDiameter(topologies, 8));
+  }
+}
+BENCHMARK(BM_DynamicDiameter)->Arg(256)->Arg(1024);
+
+void BM_GammaLambdaTopology(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  util::Rng rng(4);
+  const cc::Instance inst = cc::randomInstance(2, q, rng, 0);
+  const lb::CFloodNetwork network(inst);
+  auto adversary = network.referenceAdversary();
+  std::vector<sim::Action> receiving(
+      static_cast<std::size_t>(network.numNodes()));
+  sim::Round r = 1;
+  for (auto _ : state) {
+    auto g = adversary->topology(r % network.horizon() + 1, {receiving});
+    benchmark::DoNotOptimize(g->numEdges());
+    ++r;
+  }
+  state.counters["nodes"] = network.numNodes();
+}
+BENCHMARK(BM_GammaLambdaTopology)->Arg(61)->Arg(241);
+
+}  // namespace
+}  // namespace dynet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// The paper's end-to-end story: a good estimate of N makes leader election
+// insensitive to unknown diameter.
+//
+//   $ ./estimate_then_elect [--nodes 96] [--seed 11]
+//
+// Phase 1 (bootstrap): while the diameter is known (e.g. the network was
+// just deployed in a controlled setting), run the known-D estimate-N
+// protocol (§1's trivial upper bound; O(log N)-flavoured flooding rounds).
+// Phase 2 (operation): the topology now churns arbitrarily and D is
+// unknown — run the §7 LEADERELECT with the phase-1 estimate as N'.
+//
+// The punchline the paper proves: phase 2 would cost Ω((N/log N)^{1/4})
+// flooding rounds without the estimate (Theorem 7), and obtaining the
+// estimate itself under unknown diameter is equally expensive — but one
+// bootstrap window of known D removes the sensitivity forever (Theorem 8).
+#include <iostream>
+
+#include "adversary/churn_adversaries.h"
+#include "adversary/dynamic_adversaries.h"
+#include "protocols/counting.h"
+#include "protocols/leader_unknown_d.h"
+#include "protocols/majority.h"
+#include "sim/engine.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace dynet;
+  util::Cli cli(argc, argv);
+  const auto n = static_cast<sim::NodeId>(cli.integer("nodes", 96));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 11));
+  cli.rejectUnknown();
+
+  // ---- Phase 1: estimate N with known D (stable bootstrap topology). ----
+  const int bootstrap_diameter = 8;
+  const int k = 192;
+  const double c = 0.25;
+  const sim::Round est_rounds = proto::countingRounds(k, bootstrap_diameter, n, 3);
+  std::cout << "phase 1 — bootstrap: estimate N over a mildly-churning "
+               "network with D <= " << bootstrap_diameter << "\n";
+  proto::CountingFactory counting(k, est_rounds, seed);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    ps.push_back(counting.create(v, n));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = est_rounds + 1;
+  sim::Engine estimator(std::move(ps),
+                        std::make_unique<adv::EdgeChurnAdversary>(n, 1, seed),
+                        config, seed);
+  estimator.run();
+  // Each node ends with its own estimate; show node 0's.
+  const auto* p0 =
+      dynamic_cast<const proto::CountingProcess*>(&estimator.process(0));
+  const double n_estimate = p0->estimate();
+  std::cout << "  node 0's estimate N' = " << n_estimate << " (true N = " << n
+            << ", error " << std::abs(n_estimate - n) / n << ", promise needs <= "
+            << 1.0 / 3.0 - c << ")\n";
+  if (!proto::validEstimate(n_estimate, n, c)) {
+    std::cout << "  estimate outside the promise window — rerun with more "
+                 "rounds/coordinates\n";
+    return 1;
+  }
+
+  // ---- Phase 2: elect a leader with D unknown, topology reshuffled. ----
+  std::cout << "\nphase 2 — operation: fresh random tree EVERY round, D "
+               "unknown to the protocol\n";
+  proto::LeaderConfig leader_config;
+  leader_config.n_estimate = n_estimate;
+  leader_config.c = c;
+  leader_config.k = 64;
+  proto::LeaderElectFactory leader(leader_config, util::hashCombine(seed, 2));
+  ps.clear();
+  for (sim::NodeId v = 0; v < n; ++v) {
+    ps.push_back(leader.create(v, n));
+  }
+  sim::EngineConfig config2;
+  config2.max_rounds = 20'000'000;
+  sim::Engine election(std::move(ps),
+                       std::make_unique<adv::RandomTreeAdversary>(n, seed + 9),
+                       config2, seed + 9);
+  const auto result = election.run();
+  if (!result.all_done) {
+    std::cout << "  election did not terminate\n";
+    return 1;
+  }
+  const std::uint64_t leader_key = election.process(0).output();
+  bool agreement = true;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    agreement = agreement && election.process(v).output() == leader_key;
+  }
+  std::cout << "  elected node " << leader_key - 1 << " in "
+            << result.all_done_round << " rounds; agreement: "
+            << (agreement ? "yes" : "NO") << "\n";
+  std::cout << "\nWithout the phase-1 estimate, ANY correct protocol here "
+               "would need\nΩ((N/log N)^{1/4}) flooding rounds (Theorem 7); "
+               "with it, the cost is\npolylog — the paper's headline.\n";
+  return agreement ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// The two-party reduction, narrated (Theorem 6).
+//
+//   $ ./reduction_demo [--q 61] [--n 2] [--disj 0|1] [--seed 5]
+//
+// Builds the Γ+Λ composition for a random DISJOINTNESSCP instance, runs
+// Alice's and Bob's simulations of a CFLOOD oracle in lockstep against the
+// ground-truth execution, and prints what each side could and could not
+// see: spoiled-node counts per round, forwarded special-node traffic, the
+// bit totals, and the final claim.
+#include <iostream>
+
+#include "cc/disjointness_cp.h"
+#include "lowerbound/composition.h"
+#include "lowerbound/reduction.h"
+#include "protocols/cflood.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dynet;
+  util::Cli cli(argc, argv);
+  const int q = static_cast<int>(cli.integer("q", 61));
+  const int groups = static_cast<int>(cli.integer("n", 2));
+  const int disj = static_cast<int>(cli.integer("disj", 0));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 5));
+  cli.rejectUnknown();
+
+  util::Rng rng(seed);
+  const cc::Instance inst = cc::randomInstance(groups, q, rng, disj);
+  const lb::CFloodNetwork network(inst);
+
+  std::cout << "Theorem 6 reduction demo\n"
+            << "instance: " << cc::describe(inst) << "\n"
+            << "composed network: " << network.numNodes() << " nodes ("
+            << network.gamma().numNodes() << " in type-Γ, "
+            << network.lambda().numNodes() << " in type-Λ), "
+            << network.bridges().size() << " bridging edges, horizon "
+            << network.horizon() << " rounds\n\n";
+
+  // How much of the network can each party simulate?
+  for (const lb::Party party : {lb::Party::kAlice, lb::Party::kBob}) {
+    const auto spoiled = network.spoiledFrom(party);
+    int never = 0, always = 0;
+    for (const auto s : spoiled) {
+      never += s == lb::kNever ? 1 : 0;
+      always += s == lb::kAlwaysSpoiled ? 1 : 0;
+    }
+    std::cout << (party == lb::Party::kAlice ? "Alice" : "Bob  ")
+              << ": simulates " << network.numNodes() - always
+              << " nodes at round 1; " << never
+              << " stay non-spoiled through the whole horizon\n";
+  }
+
+  const proto::CFloodFactory oracle(network.source(), 0x2a, 8,
+                                    proto::FloodMode::kRandomized,
+                                    /*wait_rounds=*/12);
+  const lb::ReductionResult result = lb::runCFloodReduction(inst, oracle, seed);
+
+  util::Table table({"fact", "value"});
+  table.row().cell("ground truth DISJ(x,y)").cell(result.disj_truth);
+  table.row().cell("Alice's claim").cell(result.claimed_disj);
+  table.row().cell("oracle terminated at round").cell(
+      static_cast<std::int64_t>(result.monitor_done_round));
+  table.row().cell("oracle output correct").cell(
+      result.oracle_output_correct ? "yes" : "no");
+  table.row().cell("token holders at horizon").cell(
+      result.token_holders_at_horizon);
+  table.row().cell("Alice -> Bob bits").cell(result.bits_alice_to_bob);
+  table.row().cell("Bob -> Alice bits").cell(result.bits_bob_to_alice);
+  table.row().cell("actions cross-validated").cell(result.actions_checked);
+  table.row().cell("simulations exact vs reference").cell(
+      result.simulation_consistent ? "yes" : "NO");
+  std::cout << "\n" << table.toString();
+
+  std::cout << "\nWhat to notice:\n"
+            << "* both parties re-derived every non-spoiled node's behaviour\n"
+            << "  from public coins + " << result.bits_alice_to_bob +
+                   result.bits_bob_to_alice
+            << " exchanged bits (vs "
+            << static_cast<std::uint64_t>(result.num_nodes) *
+                   static_cast<std::uint64_t>(result.horizon)
+            << " node-rounds simulated);\n"
+            << "* when DISJ=0 the fast oracle's confirmation is a lie — the\n"
+            << "  |0,0 line cannot have been reached within the horizon;\n"
+            << "* a correct oracle would have to run past the horizon, and\n"
+            << "  that is exactly the Ω((N/log N)^{1/4}) cost of Theorem 6.\n";
+  return result.simulation_consistent ? 0 : 1;
+}

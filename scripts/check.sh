@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification pass: release build + tests + benches, then a
+# sanitizer build (ASan + UBSan) + tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== release build ==="
+cmake -B build -G Ninja
+cmake --build build
+echo "=== tests ==="
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+echo "=== benches (quick where supported) ==="
+for b in build/bench/*; do
+  "$b" --quick 2>/dev/null || "$b"
+done
+
+echo "=== sanitizer build (ASan + UBSan) ==="
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake --build build-asan
+ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,112 @@
+#include "adversary/churn_adversaries.h"
+
+#include <algorithm>
+
+#include "adversary/dynamic_adversaries.h"
+#include "util/check.h"
+
+namespace dynet::adv {
+
+EdgeChurnAdversary::EdgeChurnAdversary(sim::NodeId n, int churn_edges,
+                                       std::uint64_t seed)
+    : n_(n), churn_edges_(churn_edges), rng_(seed) {
+  DYNET_CHECK(n >= 2) << "n=" << n;
+  DYNET_CHECK(churn_edges >= 0) << "churn_edges=" << churn_edges;
+  parent_.assign(static_cast<std::size_t>(n), 0);
+  for (sim::NodeId v = 1; v < n_; ++v) {
+    parent_[static_cast<std::size_t>(v)] =
+        static_cast<sim::NodeId>(rng_.below(static_cast<std::uint64_t>(v)));
+  }
+  rebuild();
+}
+
+void EdgeChurnAdversary::rebuild() {
+  std::vector<net::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n_) - 1);
+  for (sim::NodeId v = 1; v < n_; ++v) {
+    edges.push_back({parent_[static_cast<std::size_t>(v)], v});
+  }
+  current_ = std::make_shared<net::Graph>(n_, std::move(edges));
+}
+
+net::GraphPtr EdgeChurnAdversary::topology(sim::Round /*round*/,
+                                           const sim::RoundObservation&) {
+  // Re-attach `churn_edges_` random non-root nodes to new parents.  To keep
+  // the parent encoding acyclic we only allow re-attachment to a node that
+  // is not in v's own subtree; re-attaching to any strictly smaller id is a
+  // simple sufficient rule (the tree stays a DAG towards node 0).
+  for (int c = 0; c < churn_edges_ && n_ > 2; ++c) {
+    const auto v = static_cast<sim::NodeId>(
+        1 + rng_.below(static_cast<std::uint64_t>(n_ - 1)));
+    parent_[static_cast<std::size_t>(v)] =
+        static_cast<sim::NodeId>(rng_.below(static_cast<std::uint64_t>(v)));
+  }
+  if (churn_edges_ > 0) {
+    rebuild();
+  }
+  return current_;
+}
+
+RandomGraphAdversary::RandomGraphAdversary(sim::NodeId n, double p,
+                                           std::uint64_t seed)
+    : n_(n), p_(p), seed_(seed) {
+  DYNET_CHECK(n >= 2) << "n=" << n;
+  DYNET_CHECK(p >= 0.0 && p <= 1.0) << "p=" << p;
+}
+
+net::GraphPtr RandomGraphAdversary::topology(sim::Round round,
+                                             const sim::RoundObservation&) {
+  util::Rng rng(util::hashCombine(seed_ ^ 0x94d049bb133111ebULL,
+                                  static_cast<std::uint64_t>(round)));
+  // Spanning tree for guaranteed connectivity...
+  auto tree = randomAttachTree(n_, rng);
+  std::vector<net::Edge> edges(tree->edges().begin(), tree->edges().end());
+  // ...plus Bernoulli(p) extra edges.  Sample the number per node pair
+  // implicitly by walking pairs with a geometric skip for efficiency.
+  if (p_ > 0.0) {
+    const double log1mp = std::log1p(-std::min(p_, 0.999999));
+    const auto total = static_cast<std::uint64_t>(n_) *
+                       static_cast<std::uint64_t>(n_ - 1) / 2;
+    std::uint64_t idx = 0;
+    while (true) {
+      const double u = std::max(rng.real(), 1e-18);
+      idx += 1 + static_cast<std::uint64_t>(std::log(u) / log1mp);
+      if (idx > total) {
+        break;
+      }
+      // Map linear index (1-based) to pair (a, b).
+      const std::uint64_t z = idx - 1;
+      const auto a = static_cast<sim::NodeId>(
+          (1 + static_cast<std::uint64_t>(
+                   std::sqrt(8.0 * static_cast<double>(z) + 1.0))) /
+          2);
+      // Adjust for floating point error.
+      std::uint64_t a64 = a;
+      while (a64 * (a64 + 1) / 2 > z) {
+        --a64;
+      }
+      while ((a64 + 1) * (a64 + 2) / 2 <= z) {
+        ++a64;
+      }
+      const auto row = static_cast<sim::NodeId>(a64 + 1);
+      const auto col = static_cast<sim::NodeId>(z - a64 * (a64 + 1) / 2);
+      if (row < n_ && col < row) {
+        edges.push_back({col, row});
+      }
+    }
+  }
+  // Deduplicate against the tree edges.
+  std::sort(edges.begin(), edges.end(), [](const net::Edge& x, const net::Edge& y) {
+    return std::pair(std::min(x.a, x.b), std::max(x.a, x.b)) <
+           std::pair(std::min(y.a, y.b), std::max(y.a, y.b));
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const net::Edge& x, const net::Edge& y) {
+                            return std::pair(std::min(x.a, x.b), std::max(x.a, x.b)) ==
+                                   std::pair(std::min(y.a, y.b), std::max(y.a, y.b));
+                          }),
+              edges.end());
+  return std::make_shared<net::Graph>(n_, std::move(edges));
+}
+
+}  // namespace dynet::adv

@@ -1,0 +1,51 @@
+// Smooth-churn adversaries: topologies that change gradually, filling the
+// space between the static zoo and the full per-round reshuffles.
+//
+//   * EdgeChurnAdversary — maintains a spanning tree and, every round,
+//     relocates `churn_edges` random tree edges (remove a non-bridge...
+//     in tree terms: re-attach a random subtree).  churn_edges = 0 is a
+//     static tree; large values approach a fresh random tree per round.
+//   * RandomGraphAdversary — G(n, p) each round, unioned with a random
+//     spanning tree so connectivity always holds.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/adversary.h"
+#include "util/rng.h"
+
+namespace dynet::adv {
+
+class EdgeChurnAdversary : public sim::Adversary {
+ public:
+  EdgeChurnAdversary(sim::NodeId n, int churn_edges, std::uint64_t seed);
+
+  net::GraphPtr topology(sim::Round round, const sim::RoundObservation& obs) override;
+  sim::NodeId numNodes() const override { return n_; }
+
+ private:
+  void rebuild();
+
+  sim::NodeId n_;
+  int churn_edges_;
+  util::Rng rng_;
+  // parent[v] for v >= 1 encodes the current tree (parent in a rooted
+  // orientation towards node 0).
+  std::vector<sim::NodeId> parent_;
+  net::GraphPtr current_;
+};
+
+class RandomGraphAdversary : public sim::Adversary {
+ public:
+  RandomGraphAdversary(sim::NodeId n, double p, std::uint64_t seed);
+
+  net::GraphPtr topology(sim::Round round, const sim::RoundObservation& obs) override;
+  sim::NodeId numNodes() const override { return n_; }
+
+ private:
+  sim::NodeId n_;
+  double p_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dynet::adv

@@ -1,0 +1,97 @@
+#include "adversary/dual_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dynet::adv {
+
+namespace {
+
+std::pair<sim::NodeId, sim::NodeId> canonical(const net::Edge& e) {
+  return {std::min(e.a, e.b), std::max(e.a, e.b)};
+}
+
+}  // namespace
+
+DualGraphAdversary::DualGraphAdversary(net::GraphPtr reliable,
+                                       std::vector<net::Edge> unreliable,
+                                       DualGraphPolicy policy, double p,
+                                       std::uint64_t seed)
+    : reliable_(std::move(reliable)),
+      unreliable_(std::move(unreliable)),
+      policy_(policy),
+      p_(p),
+      seed_(seed) {
+  DYNET_CHECK(reliable_ != nullptr && reliable_->connected())
+      << "reliable subgraph must be connected";
+  DYNET_CHECK(p_ >= 0.0 && p_ <= 1.0) << "p=" << p_;
+  // Drop unreliable edges that duplicate reliable ones.
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> have;
+  have.reserve(reliable_->numEdges());
+  for (const net::Edge& e : reliable_->edges()) {
+    have.push_back(canonical(e));
+  }
+  std::sort(have.begin(), have.end());
+  std::erase_if(unreliable_, [&](const net::Edge& e) {
+    return std::binary_search(have.begin(), have.end(), canonical(e));
+  });
+}
+
+net::GraphPtr DualGraphAdversary::topology(sim::Round round,
+                                           const sim::RoundObservation& obs) {
+  std::vector<net::Edge> edges(reliable_->edges().begin(),
+                               reliable_->edges().end());
+  switch (policy_) {
+    case DualGraphPolicy::kAdversarialOff:
+      break;
+    case DualGraphPolicy::kRandom: {
+      util::Rng rng(util::hashCombine(seed_ ^ 0xd1b54a32d192ed03ULL,
+                                      static_cast<std::uint64_t>(round)));
+      for (const net::Edge& e : unreliable_) {
+        if (rng.real() < p_) {
+          edges.push_back(e);
+        }
+      }
+      break;
+    }
+    case DualGraphPolicy::kFlaky: {
+      // Grant an unreliable edge only when it is useless: both endpoints
+      // receiving (nothing crosses) — the adaptive denial the dual-graph
+      // lower bounds build on.
+      for (const net::Edge& e : unreliable_) {
+        const bool a_sends = obs.actions[static_cast<std::size_t>(e.a)].send;
+        const bool b_sends = obs.actions[static_cast<std::size_t>(e.b)].send;
+        if (!a_sends && !b_sends) {
+          edges.push_back(e);
+        }
+      }
+      break;
+    }
+  }
+  return std::make_shared<net::Graph>(reliable_->numNodes(), std::move(edges));
+}
+
+std::unique_ptr<DualGraphAdversary> makeRingWithChords(sim::NodeId n,
+                                                       DualGraphPolicy policy,
+                                                       double p,
+                                                       std::uint64_t seed) {
+  DYNET_CHECK(n >= 4) << "n=" << n;
+  std::vector<net::Edge> chords;
+  // All power-of-two strides >= 2: with every chord granted the graph is a
+  // hypercube-like ring augmentation with O(log N) diameter and O(log N)
+  // degree.
+  for (sim::NodeId stride = 2; stride <= n / 2; stride *= 2) {
+    for (sim::NodeId i = 0; i < n; ++i) {
+      const auto j = static_cast<sim::NodeId>((i + stride) % n);
+      if (i < j) {
+        chords.push_back({i, j});
+      }
+    }
+  }
+  return std::make_unique<DualGraphAdversary>(net::makeRing(n),
+                                              std::move(chords), policy, p,
+                                              seed);
+}
+
+}  // namespace dynet::adv

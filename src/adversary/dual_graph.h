@@ -1,0 +1,59 @@
+// The dual graph model (Kuhn, Lynch, Newport et al. [9, 13]).
+//
+// The paper notes that "all our results and proofs also extend to the dual
+// graph model without any modification".  In that model the topology has a
+// *reliable* edge set G (present every round) and an *unreliable* edge set
+// G' ⊇ G from which the adversary may add any subset each round.  This
+// adversary realizes it with three per-round policies for the unreliable
+// edges:
+//   * kRandom      — each unreliable edge appears i.i.d. with probability p
+//                    (an oblivious instantiation),
+//   * kAdversarialOff — no unreliable edge ever appears (worst case for
+//                    protocols hoping for shortcuts),
+//   * kFlaky       — an unreliable edge appears iff both endpoints chose to
+//                    receive (an adaptive policy that denies the edge to
+//                    every actual transmission — the classic dual-graph
+//                    trick).
+// The reliable subgraph must be connected, which keeps every round's
+// topology connected as the model requires.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/adversary.h"
+#include "util/rng.h"
+
+namespace dynet::adv {
+
+enum class DualGraphPolicy { kRandom, kAdversarialOff, kFlaky };
+
+class DualGraphAdversary : public sim::Adversary {
+ public:
+  /// `reliable` must be connected; `unreliable` are the extra candidate
+  /// edges (need not be disjoint from reliable; duplicates are dropped).
+  DualGraphAdversary(net::GraphPtr reliable, std::vector<net::Edge> unreliable,
+                     DualGraphPolicy policy, double p, std::uint64_t seed);
+
+  net::GraphPtr topology(sim::Round round, const sim::RoundObservation& obs) override;
+  sim::NodeId numNodes() const override { return reliable_->numNodes(); }
+
+  const net::Graph& reliable() const { return *reliable_; }
+
+ private:
+  net::GraphPtr reliable_;
+  std::vector<net::Edge> unreliable_;
+  DualGraphPolicy policy_;
+  double p_;
+  std::uint64_t seed_;
+};
+
+/// Convenience builder: reliable ring + all "chord" edges {i, i+k} for a
+/// few strides as unreliable shortcuts.  With shortcuts granted the
+/// diameter is small; with them denied it is Θ(N) — the dual-graph
+/// dichotomy the paper's results survive.
+std::unique_ptr<DualGraphAdversary> makeRingWithChords(sim::NodeId n,
+                                                       DualGraphPolicy policy,
+                                                       double p,
+                                                       std::uint64_t seed);
+
+}  // namespace dynet::adv

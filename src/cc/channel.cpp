@@ -1,0 +1,3 @@
+#include "cc/channel.h"
+
+namespace dynet::cc {}

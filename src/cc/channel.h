@@ -1,0 +1,31 @@
+// Bit-counted two-party channel.
+//
+// Everything Alice and Bob exchange — in the reduction or in the trivial
+// DISJOINTNESSCP protocols — flows through a CountedChannel, so measured
+// communication is an honest accounting of the simulation's cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dynet::cc {
+
+enum class Direction { kAliceToBob, kBobToAlice };
+
+class CountedChannel {
+ public:
+  /// Records a transfer of `bits` bits.
+  void transfer(Direction dir, std::uint64_t bits) {
+    (dir == Direction::kAliceToBob ? alice_to_bob_ : bob_to_alice_) += bits;
+  }
+
+  std::uint64_t aliceToBobBits() const { return alice_to_bob_; }
+  std::uint64_t bobToAliceBits() const { return bob_to_alice_; }
+  std::uint64_t totalBits() const { return alice_to_bob_ + bob_to_alice_; }
+
+ private:
+  std::uint64_t alice_to_bob_ = 0;
+  std::uint64_t bob_to_alice_ = 0;
+};
+
+}  // namespace dynet::cc

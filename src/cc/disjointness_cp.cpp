@@ -1,0 +1,124 @@
+#include "cc/disjointness_cp.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dynet::cc {
+
+bool cyclePromiseHolds(const Instance& inst) {
+  if (inst.n < 1 || inst.q < 3 || inst.q % 2 == 0) {
+    return false;
+  }
+  if (static_cast<int>(inst.x.size()) != inst.n ||
+      static_cast<int>(inst.y.size()) != inst.n) {
+    return false;
+  }
+  for (int i = 0; i < inst.n; ++i) {
+    const int x = inst.x[static_cast<std::size_t>(i)];
+    const int y = inst.y[static_cast<std::size_t>(i)];
+    if (x < 0 || x >= inst.q || y < 0 || y >= inst.q) {
+      return false;
+    }
+    const bool ok = (y == x - 1) || (y == x + 1) || (x == 0 && y == 0) ||
+                    (x == inst.q - 1 && y == inst.q - 1);
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int evaluate(const Instance& inst) {
+  DYNET_CHECK(cyclePromiseHolds(inst)) << "invalid DISJOINTNESSCP instance";
+  for (int i = 0; i < inst.n; ++i) {
+    if (inst.x[static_cast<std::size_t>(i)] == 0 &&
+        inst.y[static_cast<std::size_t>(i)] == 0) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+namespace {
+
+/// All promise-feasible (x, y) pairs for given q.
+std::vector<std::pair<int, int>> feasiblePairs(int q) {
+  std::vector<std::pair<int, int>> pairs;
+  pairs.emplace_back(0, 0);
+  pairs.emplace_back(q - 1, q - 1);
+  for (int x = 0; x + 1 < q; ++x) {
+    pairs.emplace_back(x, x + 1);
+  }
+  for (int x = 1; x < q; ++x) {
+    pairs.emplace_back(x, x - 1);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Instance randomInstance(int n, int q, util::Rng& rng, std::optional<int> force) {
+  DYNET_CHECK(n >= 1) << "n=" << n;
+  DYNET_CHECK(q >= 3 && q % 2 == 1) << "q=" << q;
+  const auto pairs = feasiblePairs(q);
+  Instance inst;
+  inst.n = n;
+  inst.q = q;
+  inst.x.resize(static_cast<std::size_t>(n));
+  inst.y.resize(static_cast<std::size_t>(n));
+  // Pairs excluding (0,0), for disj=1 or for the non-forced positions.
+  std::vector<std::pair<int, int>> nonzero(pairs.begin() + 1, pairs.end());
+  const bool force_zero = force.has_value() && *force == 0;
+  const bool force_one = force.has_value() && *force == 1;
+  const auto& pool = force_one ? nonzero : pairs;
+  for (int i = 0; i < n; ++i) {
+    const auto& p = pool[rng.below(pool.size())];
+    inst.x[static_cast<std::size_t>(i)] = p.first;
+    inst.y[static_cast<std::size_t>(i)] = p.second;
+  }
+  if (force_zero) {
+    const auto i = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(n)));
+    inst.x[i] = 0;
+    inst.y[i] = 0;
+  }
+  DYNET_CHECK(cyclePromiseHolds(inst)) << "generator bug";
+  if (force.has_value()) {
+    DYNET_CHECK(evaluate(inst) == *force) << "generator force bug";
+  }
+  return inst;
+}
+
+Instance figure1Instance() {
+  Instance inst;
+  inst.n = 4;
+  inst.q = 5;
+  inst.x = {3, 1, 1, 0};
+  inst.y = {2, 2, 0, 0};
+  DYNET_CHECK(cyclePromiseHolds(inst)) << "figure 1 instance invalid";
+  DYNET_CHECK(evaluate(inst) == 0) << "figure 1 instance should be disj=0";
+  return inst;
+}
+
+double ccLowerBoundBits(int n, int q) {
+  const double raw = static_cast<double>(n) / (static_cast<double>(q) * q) -
+                     std::log2(static_cast<double>(n));
+  return raw < 1.0 ? 1.0 : raw;
+}
+
+std::string describe(const Instance& inst) {
+  std::ostringstream out;
+  out << "n=" << inst.n << " q=" << inst.q << " x=";
+  for (const int v : inst.x) {
+    out << v << (inst.q > 10 ? "," : "");
+  }
+  out << " y=";
+  for (const int v : inst.y) {
+    out << v << (inst.q > 10 ? "," : "");
+  }
+  out << " disj=" << evaluate(inst);
+  return out.str();
+}
+
+}  // namespace dynet::cc

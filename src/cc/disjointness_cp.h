@@ -1,0 +1,50 @@
+// The two-party DISJOINTNESSCP problem (Chen, Yu, Zhao, Gibbons [4]),
+// adopted by the paper for all its reductions.
+//
+// Alice holds x, Bob holds y, each n characters over [0, q-1] (q odd >= 3),
+// subject to the *cycle promise*: for every i, either y_i = x_i ± 1, or
+// (x_i, y_i) = (0, 0), or (x_i, y_i) = (q-1, q-1).
+// DISJOINTNESSCP(x, y) = 0 iff some i has x_i = y_i = 0, else 1.
+//
+// Theorem 1 (from [4]): any 1/5-error public-coin protocol needs
+// Ω(n/q²) − O(log n) bits.  ccLowerBoundBits evaluates that formula (unit
+// constants) so benches can compare measured communication against it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dynet::cc {
+
+struct Instance {
+  int n = 0;
+  int q = 0;
+  std::vector<int> x;
+  std::vector<int> y;
+};
+
+/// Validates n, q (odd, >= 3), ranges, and the cycle promise.
+bool cyclePromiseHolds(const Instance& inst);
+
+/// 0 if some x_i = y_i = 0, else 1.  Requires a valid instance.
+int evaluate(const Instance& inst);
+
+/// Uniformly random promise-respecting instance; if `force` is set, the
+/// instance is conditioned to evaluate to that value.
+Instance randomInstance(int n, int q, util::Rng& rng,
+                        std::optional<int> force = std::nullopt);
+
+/// The exact instance of the paper's Figure 1: n=4, q=5, x=3110, y=2200.
+Instance figure1Instance();
+
+/// Lower-bound formula n/q² − log2(n) (unit constants), floored at 1.
+double ccLowerBoundBits(int n, int q);
+
+/// Human-readable rendering ("x=3110 y=2200 q=5 disj=0").
+std::string describe(const Instance& inst);
+
+}  // namespace dynet::cc

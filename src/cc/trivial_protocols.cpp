@@ -1,0 +1,46 @@
+#include "cc/trivial_protocols.h"
+
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace dynet::cc {
+
+int solveSendAll(const Instance& inst, CountedChannel& channel) {
+  DYNET_CHECK(cyclePromiseHolds(inst)) << "invalid instance";
+  // Alice -> Bob: all of x.
+  const int char_bits = util::bitWidthFor(static_cast<std::uint64_t>(inst.q));
+  channel.transfer(Direction::kAliceToBob,
+                   static_cast<std::uint64_t>(inst.n) * char_bits);
+  // Bob evaluates locally and returns the answer bit.
+  int answer = 1;
+  for (int i = 0; i < inst.n; ++i) {
+    if (inst.x[static_cast<std::size_t>(i)] == 0 &&
+        inst.y[static_cast<std::size_t>(i)] == 0) {
+      answer = 0;
+    }
+  }
+  channel.transfer(Direction::kBobToAlice, 1);
+  return answer;
+}
+
+int solveZeroPositions(const Instance& inst, CountedChannel& channel) {
+  DYNET_CHECK(cyclePromiseHolds(inst)) << "invalid instance";
+  const int idx_bits = util::bitWidthFor(static_cast<std::uint64_t>(inst.n));
+  // Alice -> Bob: count of zero positions, then the positions themselves.
+  std::uint64_t zeros = 0;
+  int answer = 1;
+  for (int i = 0; i < inst.n; ++i) {
+    if (inst.x[static_cast<std::size_t>(i)] == 0) {
+      ++zeros;
+      if (inst.y[static_cast<std::size_t>(i)] == 0) {
+        answer = 0;
+      }
+    }
+  }
+  channel.transfer(Direction::kAliceToBob,
+                   static_cast<std::uint64_t>(idx_bits) + zeros * idx_bits);
+  channel.transfer(Direction::kBobToAlice, 1);
+  return answer;
+}
+
+}  // namespace dynet::cc

@@ -1,0 +1,22 @@
+// Deterministic upper-bound protocols for DISJOINTNESSCP.
+//
+// These give benches honest measured-communication baselines to set against
+// the Ω(n/q²) lower bound of Theorem 1:
+//   * solveSendAll      — Alice ships x verbatim: n·ceil(log2 q) + O(1) bits.
+//   * solveZeroPositions — only positions with x_i = 0 matter for the
+//     answer; Alice ships them: |{i : x_i=0}|·ceil(log2 n) + O(log n) bits
+//     (worst case Θ(n log n), tiny on sparse instances).
+// Both are exact (0-error).
+#pragma once
+
+#include <cstdint>
+
+#include "cc/channel.h"
+#include "cc/disjointness_cp.h"
+
+namespace dynet::cc {
+
+int solveSendAll(const Instance& inst, CountedChannel& channel);
+int solveZeroPositions(const Instance& inst, CountedChannel& channel);
+
+}  // namespace dynet::cc

@@ -1,0 +1,113 @@
+#include "lowerbound/chain.h"
+
+#include "util/check.h"
+
+namespace dynet::lb {
+
+bool feasibleLabels(int top, int bottom, int q) {
+  if (top < 0 || top >= q || bottom < 0 || bottom >= q) {
+    return false;
+  }
+  return bottom == top - 1 || bottom == top + 1 || (top == 0 && bottom == 0) ||
+         (top == q - 1 && bottom == q - 1);
+}
+
+ChainSchedule referenceSchedule(int top, int bottom, int q, Subnet subnet) {
+  // Γ chains carry raw promise pairs; Λ chains shift labels by 2j (capped),
+  // so equal even labels (2t, 2t) also arise there.
+  const bool lambda_equal_even =
+      subnet == Subnet::kLambda && top == bottom && top % 2 == 0;
+  DYNET_CHECK(feasibleLabels(top, bottom, q) || lambda_equal_even)
+      << "labels (" << top << "," << bottom << ") infeasible for q=" << q;
+  ChainSchedule s;
+  if (top == bottom) {
+    // (0,0) or (q-1,q-1) in Γ; (2t,2t) with capping in Λ.
+    if (subnet == Subnet::kGamma) {
+      if (top == 0) {
+        // Rule 5 (Γ): both edges removed at the beginning of round 1.
+        s.top = {EdgeRule::kFixed, 1};
+        s.bottom = {EdgeRule::kFixed, 1};
+        s.both_removed = true;
+      }
+      // (q-1, q-1): untouched.
+    } else {
+      // Rule 5' (Λ): |2t,2t chains for t in [0, (q-3)/2] lose both edges at
+      // round t+1; the label q-1 (t = (q-1)/2) is excluded and untouched.
+      DYNET_CHECK(top % 2 == 0) << "equal odd labels infeasible";
+      const int t = top / 2;
+      if (t <= (q - 3) / 2) {
+        s.top = {EdgeRule::kFixed, t + 1};
+        s.bottom = {EdgeRule::kFixed, t + 1};
+        s.both_removed = true;
+      }
+    }
+    return s;
+  }
+  if (top % 2 == 0 && bottom == top - 1) {
+    // Rule 1: |2t over 2t-1 — top edge removed at round t+1.
+    s.top = {EdgeRule::kFixed, top / 2 + 1};
+  } else if (top % 2 == 1 && bottom == top + 1) {
+    // Rule 2: |2t-1 over 2t — bottom edge removed at round t+1 (t = bottom/2).
+    s.bottom = {EdgeRule::kFixed, bottom / 2 + 1};
+  } else if (top % 2 == 0 && bottom == top + 1) {
+    // Rule 3: |2t over 2t+1 — top edge removed at t+1, or t+2 if the middle
+    // node receives in round t+1.
+    s.top = {EdgeRule::kConditional, top / 2};
+  } else {
+    // Rule 4: |2t+1 over 2t — bottom edge, receive-conditional with t =
+    // bottom/2.
+    DYNET_CHECK(top % 2 == 1 && bottom == top - 1) << "unreachable shape";
+    s.bottom = {EdgeRule::kConditional, bottom / 2};
+  }
+  return s;
+}
+
+ChainSchedule aliceSchedule(int top, int q) {
+  DYNET_CHECK(top >= 0 && top < q) << "top=" << top;
+  ChainSchedule s;
+  if (top % 2 == 0) {
+    // |2t over * — remove the top edge at round t+1.
+    s.top = {EdgeRule::kFixed, top / 2 + 1};
+  } else {
+    // |2t+1 over * — remove the bottom edge at round t+2.
+    s.bottom = {EdgeRule::kFixed, (top - 1) / 2 + 2};
+  }
+  return s;
+}
+
+ChainSchedule bobSchedule(int bottom, int q) {
+  DYNET_CHECK(bottom >= 0 && bottom < q) << "bottom=" << bottom;
+  ChainSchedule s;
+  if (bottom % 2 == 0) {
+    // |* over 2t — remove the bottom edge at round t+1.
+    s.bottom = {EdgeRule::kFixed, bottom / 2 + 1};
+  } else {
+    // |* over 2t+1 — remove the top edge at round t+2.
+    s.top = {EdgeRule::kFixed, (bottom - 1) / 2 + 2};
+  }
+  return s;
+}
+
+SpoiledRounds aliceSpoiled(int top) {
+  SpoiledRounds r;
+  if (top % 2 == 0) {
+    r.v = top / 2 + 1;
+    r.w = top / 2 + 1;
+  } else {
+    r.w = (top - 1) / 2 + 1;
+  }
+  return r;
+}
+
+SpoiledRounds bobSpoiled(int bottom) {
+  SpoiledRounds r;
+  if (bottom % 2 == 0) {
+    r.u = bottom / 2 + 1;
+    r.v = bottom / 2 + 1;
+  } else {
+    r.u = (bottom - 1) / 2 + 1;
+  }
+  return r;
+}
+
+}  // namespace dynet::lb

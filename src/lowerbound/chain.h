@@ -1,0 +1,98 @@
+// Chain label algebra (paper §4, §5).
+//
+// Every chain has nodes U (top), V (middle), W (bottom); `top edge` = U–V,
+// `bottom edge` = V–W.  The attachment edges A–U and W–B are permanent.
+// Labels (top, bottom) = (x, y) obey the cycle promise, so exactly one of
+// six shapes applies.  This header encodes, for each shape:
+//
+//   * the reference adversary's removal schedule (rules 1–5, §4; the Λ
+//     variant of rule 5, §5),
+//   * Alice's / Bob's simulated (wildcard) schedules,
+//   * the spoiled-from rounds per party.
+//
+// Removal at the *beginning* of round R means the edge is absent in round R
+// and all later rounds.  Rules 3/4 are receive-conditional: with base t the
+// edge is absent in round t+1 iff the middle node is NOT receiving in round
+// t+1, and absent in every round >= t+2 regardless.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/process.h"
+
+namespace dynet::lb {
+
+using sim::Round;
+
+/// Sentinel for "never removed" / "never spoiled".
+inline constexpr Round kNever = std::numeric_limits<Round>::max();
+
+enum class EdgeRule : std::uint8_t {
+  kKeep,         // never removed
+  kFixed,        // absent from round `round` on
+  kConditional,  // base t in `round`: absent in t+1 iff mid not receiving
+                 // in t+1; absent from t+2 regardless
+};
+
+struct EdgeSchedule {
+  EdgeRule rule = EdgeRule::kKeep;
+  Round round = kNever;  // kFixed: removal round; kConditional: the base t
+
+  /// Is the edge present in `round` (1-based)?  `mid_receiving` is the
+  /// middle node's action in that round (only consulted for kConditional).
+  bool presentAt(Round r, bool mid_receiving) const {
+    switch (rule) {
+      case EdgeRule::kKeep:
+        return true;
+      case EdgeRule::kFixed:
+        return r < round;
+      case EdgeRule::kConditional:
+        if (r <= round) {
+          return true;  // r <= t
+        }
+        if (r == round + 1) {
+          return mid_receiving;  // removed at t+1 unless mid receives
+        }
+        return false;  // r >= t+2
+    }
+    return true;
+  }
+};
+
+struct ChainSchedule {
+  EdgeSchedule top;
+  EdgeSchedule bottom;
+  /// Γ rule 5 / Λ rule 5': both edges removed simultaneously (the |0,0-line
+  /// in Γ, the cascading |2t,2t chains in Λ).
+  bool both_removed = false;
+};
+
+enum class Subnet { kGamma, kLambda };
+
+/// Reference adversary schedule for a chain labelled (top, bottom).
+/// Requires a promise-feasible pair.
+ChainSchedule referenceSchedule(int top, int bottom, int q, Subnet subnet);
+
+/// Alice's simulated adversary: wildcard bottom, driven by the top label.
+ChainSchedule aliceSchedule(int top, int q);
+
+/// Bob's simulated adversary: wildcard top, driven by the bottom label.
+ChainSchedule bobSchedule(int bottom, int q);
+
+struct SpoiledRounds {
+  Round u = kNever;
+  Round v = kNever;
+  Round w = kNever;
+};
+
+/// First round at which each chain node is spoiled for Alice (by top label).
+SpoiledRounds aliceSpoiled(int top);
+
+/// First round at which each chain node is spoiled for Bob (by bottom label).
+SpoiledRounds bobSpoiled(int bottom);
+
+/// True iff (top, bottom) is one of the six promise-feasible shapes.
+bool feasibleLabels(int top, int bottom, int q);
+
+}  // namespace dynet::lb

@@ -1,0 +1,169 @@
+#include "lowerbound/composition.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace dynet::lb {
+
+namespace {
+
+/// sim::Adversary that unions reference edges of subnetworks plus constant
+/// bridges.
+class ComposedRefAdversary : public sim::Adversary {
+ public:
+  using EdgeFn = std::function<void(Round, std::span<const sim::Action>,
+                                    std::vector<net::Edge>&)>;
+
+  ComposedRefAdversary(NodeId num_nodes, std::vector<EdgeFn> parts,
+                       std::vector<net::Edge> bridges)
+      : num_nodes_(num_nodes),
+        parts_(std::move(parts)),
+        bridges_(std::move(bridges)) {}
+
+  net::GraphPtr topology(Round round, const sim::RoundObservation& obs) override {
+    std::vector<net::Edge> edges = bridges_;
+    for (const EdgeFn& part : parts_) {
+      part(round, obs.actions, edges);
+    }
+    return std::make_shared<net::Graph>(num_nodes_, std::move(edges));
+  }
+
+  NodeId numNodes() const override { return num_nodes_; }
+
+ private:
+  NodeId num_nodes_;
+  std::vector<EdgeFn> parts_;
+  std::vector<net::Edge> bridges_;
+};
+
+}  // namespace
+
+CFloodNetwork::CFloodNetwork(const cc::Instance& inst)
+    : gamma_(inst, /*offset=*/0),
+      lambda_(inst, /*offset=*/gamma_.numNodes()),
+      num_nodes_(gamma_.numNodes() + lambda_.numNodes()),
+      disj_(cc::evaluate(inst)) {
+  bridges_.push_back({gamma_.a(), lambda_.a()});
+  bridges_.push_back({gamma_.b(), lambda_.b()});
+  if (disj_ == 0) {
+    DYNET_CHECK(!gamma_.zeroLineMids().empty()) << "DISJ=0 without |0,0 chains";
+    DYNET_CHECK(!lambda_.mountingPoints().empty())
+        << "DISJ=0 without mounting points";
+    // Hang one end of the Γ line off an arbitrary Λ mounting point.
+    bridges_.push_back(
+        {gamma_.zeroLineMids().front(), lambda_.mountingPoints().front()});
+  }
+}
+
+NodeId CFloodNetwork::farLineNode() const {
+  DYNET_CHECK(disj_ == 0) << "no line when DISJ=1";
+  return gamma_.zeroLineMids().back();
+}
+
+std::unique_ptr<sim::Adversary> CFloodNetwork::referenceAdversary() const {
+  std::vector<ComposedRefAdversary::EdgeFn> parts;
+  parts.emplace_back([this](Round r, std::span<const sim::Action> actions,
+                            std::vector<net::Edge>& out) {
+    gamma_.appendReferenceEdges(r, actions, out);
+  });
+  parts.emplace_back([this](Round r, std::span<const sim::Action> actions,
+                            std::vector<net::Edge>& out) {
+    lambda_.appendReferenceEdges(r, actions, out);
+  });
+  return std::make_unique<ComposedRefAdversary>(num_nodes_, std::move(parts),
+                                                bridges_);
+}
+
+std::vector<net::Edge> CFloodNetwork::partyEdges(Party party, Round r) const {
+  std::vector<net::Edge> edges;
+  gamma_.appendPartyEdges(party, r, edges);
+  lambda_.appendPartyEdges(party, r, edges);
+  // The party sees only its sensitive bridge (the other bridges join nodes
+  // that are spoiled for it and are never consulted).
+  if (party == Party::kAlice) {
+    edges.push_back({gamma_.a(), lambda_.a()});
+  } else {
+    edges.push_back({gamma_.b(), lambda_.b()});
+  }
+  return edges;
+}
+
+std::vector<Round> CFloodNetwork::spoiledFrom(Party party) const {
+  std::vector<Round> spoiled(static_cast<std::size_t>(num_nodes_), kNever);
+  gamma_.fillSpoiledFrom(party, spoiled);
+  lambda_.fillSpoiledFrom(party, spoiled);
+  return spoiled;
+}
+
+std::vector<NodeId> CFloodNetwork::forwardedNodes(Party party) const {
+  if (party == Party::kAlice) {
+    return {gamma_.a(), lambda_.a()};
+  }
+  return {gamma_.b(), lambda_.b()};
+}
+
+ConsensusNetwork::ConsensusNetwork(const cc::Instance& inst)
+    : lambda_(inst, /*offset=*/0), disj_(cc::evaluate(inst)) {
+  if (disj_ == 0) {
+    upsilon_.emplace(inst, /*offset=*/lambda_.numNodes());
+    num_nodes_ = lambda_.numNodes() + upsilon_->numNodes();
+    DYNET_CHECK(!lambda_.mountingPoints().empty() &&
+                !upsilon_->mountingPoints().empty())
+        << "DISJ=0 without mounting points";
+    bridges_.push_back(
+        {lambda_.mountingPoints().front(), upsilon_->mountingPoints().front()});
+  } else {
+    num_nodes_ = lambda_.numNodes();
+  }
+}
+
+std::vector<std::uint64_t> ConsensusNetwork::initialValues() const {
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(num_nodes_), 0);
+  if (upsilon_.has_value()) {
+    for (NodeId v = lambda_.numNodes(); v < num_nodes_; ++v) {
+      values[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  return values;
+}
+
+std::unique_ptr<sim::Adversary> ConsensusNetwork::referenceAdversary() const {
+  std::vector<ComposedRefAdversary::EdgeFn> parts;
+  parts.emplace_back([this](Round r, std::span<const sim::Action> actions,
+                            std::vector<net::Edge>& out) {
+    lambda_.appendReferenceEdges(r, actions, out);
+  });
+  if (upsilon_.has_value()) {
+    parts.emplace_back([this](Round r, std::span<const sim::Action> actions,
+                              std::vector<net::Edge>& out) {
+      upsilon_->appendReferenceEdges(r, actions, out);
+    });
+  }
+  return std::make_unique<ComposedRefAdversary>(num_nodes_, std::move(parts),
+                                                bridges_);
+}
+
+std::vector<net::Edge> ConsensusNetwork::partyEdges(Party party, Round r) const {
+  // Both parties simulate the type-Υ subnetwork as empty; their view is Λ
+  // alone (there are no sensitive bridges in this composition).
+  std::vector<net::Edge> edges;
+  lambda_.appendPartyEdges(party, r, edges);
+  return edges;
+}
+
+std::vector<Round> ConsensusNetwork::spoiledFrom(Party party) const {
+  std::vector<Round> spoiled(static_cast<std::size_t>(num_nodes_),
+                             kAlwaysSpoiled);  // Υ nodes: always spoiled
+  lambda_.fillSpoiledFrom(party, spoiled);
+  return spoiled;
+}
+
+std::vector<NodeId> ConsensusNetwork::forwardedNodes(Party party) const {
+  if (party == Party::kAlice) {
+    return {lambda_.a()};
+  }
+  return {lambda_.b()};
+}
+
+}  // namespace dynet::lb

@@ -1,0 +1,107 @@
+// Composition networks (paper §6).
+//
+// A composition network unions two subnetworks' nodes and per-round edges
+// with a constant bridging edge set.  Theorem 6 composes Γ with Λ; Theorem 7
+// composes Λ with Υ (a second Λ that exists only when DISJ = 0).
+//
+// Bridging edges (both mappings are *simple* composition mappings):
+//   Theorem 6, DISJ=1: {(A_Γ,A_Λ), (B_Γ,B_Λ)}
+//   Theorem 6, DISJ=0: {(A_Γ,A_Λ), (B_Γ,B_Λ), (L_Γ,L_Λ)} where L_Γ is one
+//     end of the |0,0-middles line and L_Λ a mounting point.
+//   Theorem 7, DISJ=1: {} (the network is just Λ)
+//   Theorem 7, DISJ=0: {(mount_Λ, mount_Υ)}
+//
+// Only (A_Γ,A_Λ) is sensitive for Alice and only (B_Γ,B_Λ) for Bob; both
+// are instance-independent and join always-non-spoiled endpoints, which is
+// what Lemma 5 requires.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lowerbound/gamma.h"
+#include "lowerbound/lambda.h"
+#include "sim/adversary.h"
+
+namespace dynet::lb {
+
+/// Theorem 6 network: Γ + Λ.
+class CFloodNetwork {
+ public:
+  explicit CFloodNetwork(const cc::Instance& inst);
+
+  const GammaNet& gamma() const { return gamma_; }
+  const LambdaNet& lambda() const { return lambda_; }
+  NodeId numNodes() const { return num_nodes_; }
+  int disj() const { return disj_; }
+  int q() const { return gamma_.instance().q; }
+  /// The simulation horizon (q-1)/2.
+  Round horizon() const { return (q() - 1) / 2; }
+
+  /// The CFLOOD source of Theorem 6 (A_Γ).
+  NodeId source() const { return gamma_.a(); }
+  /// Far end of the |0,0 line (the node the token cannot reach within the
+  /// horizon); only for DISJ = 0.
+  NodeId farLineNode() const;
+
+  const std::vector<net::Edge>& bridges() const { return bridges_; }
+
+  /// Reference adversary for the engine.
+  std::unique_ptr<sim::Adversary> referenceAdversary() const;
+
+  /// The party's simulated-adversary edges for round r (subnetwork rules
+  /// plus the party's sensitive bridge).
+  std::vector<net::Edge> partyEdges(Party party, Round r) const;
+
+  /// spoiled_from per node for the party.
+  std::vector<Round> spoiledFrom(Party party) const;
+
+  /// Special nodes whose sent messages the party forwards to its peer.
+  std::vector<NodeId> forwardedNodes(Party party) const;
+
+ private:
+  GammaNet gamma_;
+  LambdaNet lambda_;
+  NodeId num_nodes_;
+  int disj_;
+  std::vector<net::Edge> bridges_;
+};
+
+/// Theorem 7 network: Λ + Υ (Υ present iff DISJ = 0).
+class ConsensusNetwork {
+ public:
+  explicit ConsensusNetwork(const cc::Instance& inst);
+
+  const LambdaNet& lambda() const { return lambda_; }
+  bool hasUpsilon() const { return upsilon_.has_value(); }
+  const LambdaNet& upsilon() const { return *upsilon_; }
+  NodeId numNodes() const { return num_nodes_; }
+  int disj() const { return disj_; }
+  int q() const { return lambda_.instance().q; }
+  Round horizon() const { return (q() - 1) / 2; }
+
+  /// Node Alice monitors for termination (A_Λ).
+  NodeId monitor() const { return lambda_.a(); }
+
+  /// Initial consensus inputs: Λ nodes 0, Υ nodes 1.
+  std::vector<std::uint64_t> initialValues() const;
+
+  /// N' valid for both possible N values: |N'-N|/N <= 1/3 either way.
+  double nEstimate() const { return (4.0 / 3.0) * lambda_.numNodes(); }
+
+  const std::vector<net::Edge>& bridges() const { return bridges_; }
+  std::unique_ptr<sim::Adversary> referenceAdversary() const;
+  std::vector<net::Edge> partyEdges(Party party, Round r) const;
+  std::vector<Round> spoiledFrom(Party party) const;
+  std::vector<NodeId> forwardedNodes(Party party) const;
+
+ private:
+  LambdaNet lambda_;
+  std::optional<LambdaNet> upsilon_;
+  NodeId num_nodes_;
+  int disj_;
+  std::vector<net::Edge> bridges_;
+};
+
+}  // namespace dynet::lb

@@ -1,0 +1,94 @@
+#include "lowerbound/gamma.h"
+
+#include "util/check.h"
+
+namespace dynet::lb {
+
+GammaNet::GammaNet(cc::Instance inst, NodeId offset)
+    : inst_(std::move(inst)), offset_(offset) {
+  DYNET_CHECK(cc::cyclePromiseHolds(inst_)) << "invalid instance";
+  num_nodes_ = 2 + 3 * static_cast<NodeId>(inst_.n) *
+                       static_cast<NodeId>(chainsPerGroup());
+  for (int i = 0; i < groups(); ++i) {
+    if (topLabel(i) == 0 && bottomLabel(i) == 0) {
+      for (int j = 0; j < chainsPerGroup(); ++j) {
+        zero_line_.push_back(mid(i, j));
+      }
+    }
+  }
+}
+
+void GammaNet::appendChainEdges(const ChainSchedule& schedule, int i, int j,
+                                Round r, std::span<const sim::Action> actions,
+                                std::vector<net::Edge>& out) const {
+  bool mid_receiving = true;
+  if (!actions.empty()) {
+    mid_receiving = !actions[static_cast<std::size_t>(mid(i, j))].send;
+  }
+  if (schedule.top.presentAt(r, mid_receiving)) {
+    out.push_back({top(i, j), mid(i, j)});
+  }
+  if (schedule.bottom.presentAt(r, mid_receiving)) {
+    out.push_back({mid(i, j), bottom(i, j)});
+  }
+}
+
+void GammaNet::appendReferenceEdges(Round r, std::span<const sim::Action> actions,
+                                    std::vector<net::Edge>& out) const {
+  DYNET_CHECK(r >= 1) << "round " << r;
+  for (int i = 0; i < groups(); ++i) {
+    const ChainSchedule schedule = referenceSchedule(
+        topLabel(i), bottomLabel(i), inst_.q, Subnet::kGamma);
+    for (int j = 0; j < chainsPerGroup(); ++j) {
+      // Permanent attachments A_Γ–U and W–B_Γ.
+      out.push_back({a(), top(i, j)});
+      out.push_back({bottom(i, j), b()});
+      appendChainEdges(schedule, i, j, r, actions, out);
+    }
+  }
+  // Rule 5: the |0,0 middles form a line from round 1 on.
+  for (std::size_t l = 0; l + 1 < zero_line_.size(); ++l) {
+    out.push_back({zero_line_[l], zero_line_[l + 1]});
+  }
+}
+
+void GammaNet::appendPartyEdges(Party party, Round r,
+                                std::vector<net::Edge>& out) const {
+  DYNET_CHECK(r >= 1) << "round " << r;
+  for (int i = 0; i < groups(); ++i) {
+    const ChainSchedule schedule = party == Party::kAlice
+                                       ? aliceSchedule(topLabel(i), inst_.q)
+                                       : bobSchedule(bottomLabel(i), inst_.q);
+    for (int j = 0; j < chainsPerGroup(); ++j) {
+      out.push_back({a(), top(i, j)});
+      out.push_back({bottom(i, j), b()});
+      // Party schedules are unconditional; pass mid_receiving = true
+      // (ignored for kKeep/kFixed).
+      appendChainEdges(schedule, i, j, r, {}, out);
+    }
+  }
+  // The |0,0 line exists only under the reference adversary; neither party
+  // can see it (those middles are spoiled for both from round 1).
+}
+
+void GammaNet::fillSpoiledFrom(Party party,
+                               std::vector<Round>& spoiled_from) const {
+  // Specials: A_Γ is always non-spoiled for Alice and always spoiled for
+  // Bob; symmetrically for B_Γ.
+  spoiled_from[static_cast<std::size_t>(a())] =
+      party == Party::kAlice ? kNever : kAlwaysSpoiled;
+  spoiled_from[static_cast<std::size_t>(b())] =
+      party == Party::kAlice ? kAlwaysSpoiled : kNever;
+  for (int i = 0; i < groups(); ++i) {
+    const SpoiledRounds rounds = party == Party::kAlice
+                                     ? aliceSpoiled(topLabel(i))
+                                     : bobSpoiled(bottomLabel(i));
+    for (int j = 0; j < chainsPerGroup(); ++j) {
+      spoiled_from[static_cast<std::size_t>(top(i, j))] = rounds.u;
+      spoiled_from[static_cast<std::size_t>(mid(i, j))] = rounds.v;
+      spoiled_from[static_cast<std::size_t>(bottom(i, j))] = rounds.w;
+    }
+  }
+}
+
+}  // namespace dynet::lb

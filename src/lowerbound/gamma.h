@@ -1,0 +1,82 @@
+// Type-Γ subnetwork (paper §4).
+//
+// Given a DISJOINTNESSCP instance, round 0 has n groups of (q-1)/2 vertical
+// chains; chain (i, j) has top node labelled x_i and bottom node labelled
+// y_i.  Every top node connects permanently to A_Γ and every bottom node to
+// B_Γ.  The reference adversary manipulates chain edges per rules 1–5; the
+// |0,0 middles are re-arranged into a line (the Ω(q) appendage the CFLOOD
+// composition hangs off a type-Λ mounting point).
+//
+// The same object also renders Alice's and Bob's *simulated* adversaries
+// (wildcard rules) and each party's spoiled-from rounds, which is all a
+// PartySim needs to re-execute its non-spoiled nodes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cc/disjointness_cp.h"
+#include "lowerbound/chain.h"
+#include "net/graph.h"
+#include "sim/process.h"
+
+namespace dynet::lb {
+
+using sim::NodeId;
+
+enum class Party { kAlice, kBob };
+
+/// Spoiled-from value for always-spoiled nodes (B_Γ for Alice, type-Υ
+/// nodes, …): the party can compute no action of theirs, ever.
+inline constexpr Round kAlwaysSpoiled = 0;
+
+class GammaNet {
+ public:
+  GammaNet(cc::Instance inst, NodeId offset);
+
+  NodeId numNodes() const { return num_nodes_; }
+  NodeId offset() const { return offset_; }
+  NodeId a() const { return offset_; }
+  NodeId b() const { return offset_ + 1; }
+
+  int groups() const { return inst_.n; }
+  int chainsPerGroup() const { return (inst_.q - 1) / 2; }
+  NodeId top(int i, int j) const { return chainBase(i, j); }
+  NodeId mid(int i, int j) const { return chainBase(i, j) + 1; }
+  NodeId bottom(int i, int j) const { return chainBase(i, j) + 2; }
+  int topLabel(int i) const { return inst_.x[static_cast<std::size_t>(i)]; }
+  int bottomLabel(int i) const { return inst_.y[static_cast<std::size_t>(i)]; }
+
+  const cc::Instance& instance() const { return inst_; }
+
+  /// Middles of |0,0 chains in (i, j) order — the reference adversary's
+  /// line.  Empty iff DISJ = 1.
+  const std::vector<NodeId>& zeroLineMids() const { return zero_line_; }
+
+  /// Appends this subnetwork's reference-adversary edges for round r.
+  /// `actions` are the global current-round actions (receive-conditional
+  /// rules 3/4 inspect the middle node).
+  void appendReferenceEdges(Round r, std::span<const sim::Action> actions,
+                            std::vector<net::Edge>& out) const;
+
+  /// Appends the party's simulated-adversary edges for round r.
+  void appendPartyEdges(Party party, Round r, std::vector<net::Edge>& out) const;
+
+  /// Fills spoiled_from for this subnetwork's nodes (global indexing).
+  void fillSpoiledFrom(Party party, std::vector<Round>& spoiled_from) const;
+
+ private:
+  NodeId chainBase(int i, int j) const {
+    return offset_ + 2 + 3 * static_cast<NodeId>(i * chainsPerGroup() + j);
+  }
+  void appendChainEdges(const ChainSchedule& schedule, int i, int j, Round r,
+                        std::span<const sim::Action> actions,
+                        std::vector<net::Edge>& out) const;
+
+  cc::Instance inst_;
+  NodeId offset_;
+  NodeId num_nodes_;
+  std::vector<NodeId> zero_line_;
+};
+
+}  // namespace dynet::lb

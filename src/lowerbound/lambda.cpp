@@ -1,0 +1,93 @@
+#include "lowerbound/lambda.h"
+
+#include "util/check.h"
+
+namespace dynet::lb {
+
+LambdaNet::LambdaNet(cc::Instance inst, NodeId offset, CascadeMode cascade)
+    : inst_(std::move(inst)), offset_(offset), cascade_(cascade) {
+  DYNET_CHECK(cc::cyclePromiseHolds(inst_)) << "invalid instance";
+  num_nodes_ = 2 + 3 * static_cast<NodeId>(inst_.n) *
+                       static_cast<NodeId>(chainsPerCentipede());
+  for (int i = 0; i < centipedes(); ++i) {
+    if (topLabel(i, 0) == 0 && bottomLabel(i, 0) == 0) {
+      mounting_points_.push_back(mid(i, 0));
+    }
+  }
+}
+
+void LambdaNet::appendCommonEdges(int i, int j, const ChainSchedule& schedule,
+                                  Round r, std::span<const sim::Action> actions,
+                                  std::vector<net::Edge>& out) const {
+  // Permanent attachments.
+  out.push_back({a(), top(i, j)});
+  out.push_back({bottom(i, j), b()});
+  bool mid_receiving = true;
+  if (!actions.empty()) {
+    mid_receiving = !actions[static_cast<std::size_t>(mid(i, j))].send;
+  }
+  if (schedule.top.presentAt(r, mid_receiving)) {
+    out.push_back({top(i, j), mid(i, j)});
+  }
+  if (schedule.bottom.presentAt(r, mid_receiving)) {
+    out.push_back({mid(i, j), bottom(i, j)});
+  }
+}
+
+void LambdaNet::appendReferenceEdges(Round r,
+                                     std::span<const sim::Action> actions,
+                                     std::vector<net::Edge>& out) const {
+  DYNET_CHECK(r >= 1) << "round " << r;
+  for (int i = 0; i < centipedes(); ++i) {
+    for (int j = 0; j < chainsPerCentipede(); ++j) {
+      ChainSchedule schedule = referenceSchedule(
+          topLabel(i, j), bottomLabel(i, j), inst_.q, Subnet::kLambda);
+      if (cascade_ == CascadeMode::kSimultaneous && schedule.both_removed) {
+        // Ablation: collapse the cascade to a single simultaneous removal.
+        schedule.top.round = 1;
+        schedule.bottom.round = 1;
+      }
+      appendCommonEdges(i, j, schedule, r, actions, out);
+      // Permanent middle line.
+      if (j + 1 < chainsPerCentipede()) {
+        out.push_back({mid(i, j), mid(i, j + 1)});
+      }
+    }
+  }
+}
+
+void LambdaNet::appendPartyEdges(Party party, Round r,
+                                 std::vector<net::Edge>& out) const {
+  DYNET_CHECK(r >= 1) << "round " << r;
+  for (int i = 0; i < centipedes(); ++i) {
+    for (int j = 0; j < chainsPerCentipede(); ++j) {
+      const ChainSchedule schedule =
+          party == Party::kAlice ? aliceSchedule(topLabel(i, j), inst_.q)
+                                 : bobSchedule(bottomLabel(i, j), inst_.q);
+      appendCommonEdges(i, j, schedule, r, {}, out);
+      if (j + 1 < chainsPerCentipede()) {
+        out.push_back({mid(i, j), mid(i, j + 1)});
+      }
+    }
+  }
+}
+
+void LambdaNet::fillSpoiledFrom(Party party,
+                                std::vector<Round>& spoiled_from) const {
+  spoiled_from[static_cast<std::size_t>(a())] =
+      party == Party::kAlice ? kNever : kAlwaysSpoiled;
+  spoiled_from[static_cast<std::size_t>(b())] =
+      party == Party::kAlice ? kAlwaysSpoiled : kNever;
+  for (int i = 0; i < centipedes(); ++i) {
+    for (int j = 0; j < chainsPerCentipede(); ++j) {
+      const SpoiledRounds rounds = party == Party::kAlice
+                                       ? aliceSpoiled(topLabel(i, j))
+                                       : bobSpoiled(bottomLabel(i, j));
+      spoiled_from[static_cast<std::size_t>(top(i, j))] = rounds.u;
+      spoiled_from[static_cast<std::size_t>(mid(i, j))] = rounds.v;
+      spoiled_from[static_cast<std::size_t>(bottom(i, j))] = rounds.w;
+    }
+  }
+}
+
+}  // namespace dynet::lb

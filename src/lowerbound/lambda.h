@@ -1,0 +1,87 @@
+// Type-Λ (and type-Υ) subnetwork: centipede structures (paper §5).
+//
+// Round 0 has n centipedes, one per index i.  Centipede i has (q+1)/2
+// chains; chain j (0-based) is labelled
+//   top    = min(x_i + 2j, q-1),
+//   bottom = min(y_i + 2j, q-1).
+// All middles of a centipede form a permanent horizontal line; all tops
+// connect permanently to A_Λ, all bottoms to B_Λ.  The reference adversary
+// follows the Γ rules with rule 5 replaced by the cascading removal of
+// |2t,2t chains (t <= (q-3)/2) at round t+1.
+//
+// Mounting points are the middles of |0,0 chains (j = 0 of centipedes with
+// x_i = y_i = 0); the cascade keeps a mounting point from causally touching
+// A_Λ/B_Λ for (q-1)/2 rounds while the last chain of every centipede —
+// always labelled (q-1, q-1) — stays intact, keeping the subnetwork
+// connected in every round.
+//
+// A type-Υ subnetwork is byte-for-byte a LambdaNet at a different offset;
+// it exists only in the reference execution of DISJ = 0 instances and is
+// always-spoiled for both parties.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cc/disjointness_cp.h"
+#include "lowerbound/gamma.h"
+
+namespace dynet::lb {
+
+/// Ablation knob for the Λ cascade (paper §5 discusses exactly this:
+/// "One may wonder why we cannot simply remove the edges on all these
+/// chains at the same time").  kSimultaneous removes every |2t,2t chain's
+/// edges at round 1; the mounting point then causally escapes through a
+/// nearby intact chain almost immediately and the construction collapses —
+/// bench_ablation_cascade measures it.
+enum class CascadeMode { kCascading, kSimultaneous };
+
+class LambdaNet {
+ public:
+  LambdaNet(cc::Instance inst, NodeId offset,
+            CascadeMode cascade = CascadeMode::kCascading);
+
+  NodeId numNodes() const { return num_nodes_; }
+  NodeId offset() const { return offset_; }
+  NodeId a() const { return offset_; }
+  NodeId b() const { return offset_ + 1; }
+
+  int centipedes() const { return inst_.n; }
+  int chainsPerCentipede() const { return (inst_.q + 1) / 2; }
+  NodeId top(int i, int j) const { return chainBase(i, j); }
+  NodeId mid(int i, int j) const { return chainBase(i, j) + 1; }
+  NodeId bottom(int i, int j) const { return chainBase(i, j) + 2; }
+  int topLabel(int i, int j) const {
+    return capLabel(inst_.x[static_cast<std::size_t>(i)] + 2 * j);
+  }
+  int bottomLabel(int i, int j) const {
+    return capLabel(inst_.y[static_cast<std::size_t>(i)] + 2 * j);
+  }
+
+  const cc::Instance& instance() const { return inst_; }
+
+  /// Middles of |0,0 chains (always j = 0); empty iff DISJ = 1.
+  const std::vector<NodeId>& mountingPoints() const { return mounting_points_; }
+
+  void appendReferenceEdges(Round r, std::span<const sim::Action> actions,
+                            std::vector<net::Edge>& out) const;
+  void appendPartyEdges(Party party, Round r, std::vector<net::Edge>& out) const;
+  void fillSpoiledFrom(Party party, std::vector<Round>& spoiled_from) const;
+
+ private:
+  NodeId chainBase(int i, int j) const {
+    return offset_ + 2 + 3 * static_cast<NodeId>(i * chainsPerCentipede() + j);
+  }
+  int capLabel(int label) const { return label < inst_.q ? label : inst_.q - 1; }
+  void appendCommonEdges(int i, int j, const ChainSchedule& schedule, Round r,
+                         std::span<const sim::Action> actions,
+                         std::vector<net::Edge>& out) const;
+
+  cc::Instance inst_;
+  NodeId offset_;
+  CascadeMode cascade_;
+  NodeId num_nodes_;
+  std::vector<NodeId> mounting_points_;
+};
+
+}  // namespace dynet::lb

@@ -1,0 +1,130 @@
+#include "lowerbound/party.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dynet::lb {
+
+PartySim::PartySim(NodeId n_total, std::vector<Round> spoiled_from, EdgesFn edges,
+                   std::vector<NodeId> own_specials,
+                   std::vector<NodeId> peer_specials,
+                   const sim::ProcessFactory& factory, NodeId factory_n,
+                   std::uint64_t public_seed)
+    : n_total_(n_total),
+      spoiled_from_(std::move(spoiled_from)),
+      edges_(std::move(edges)),
+      own_specials_(std::move(own_specials)),
+      peer_specials_(std::move(peer_specials)),
+      public_seed_(public_seed) {
+  DYNET_CHECK(static_cast<std::size_t>(n_total_) == spoiled_from_.size())
+      << "spoiled_from size mismatch";
+  processes_.resize(static_cast<std::size_t>(n_total_));
+  actions_.resize(static_cast<std::size_t>(n_total_));
+  for (NodeId v = 0; v < n_total_; ++v) {
+    if (spoiled_from_[static_cast<std::size_t>(v)] >= 1) {
+      processes_[static_cast<std::size_t>(v)] = factory.create(v, factory_n);
+    }
+  }
+  for (const NodeId v : own_specials_) {
+    DYNET_CHECK(spoiled_from_[static_cast<std::size_t>(v)] == kNever)
+        << "own special " << v << " must be never-spoiled";
+  }
+}
+
+bool PartySim::hasAction(NodeId v, Round r) const {
+  return r >= 1 && r <= spoiled_from_[static_cast<std::size_t>(v)] &&
+         r <= acted_round_;
+}
+
+const sim::Action& PartySim::actionOf(NodeId v) const {
+  return actions_[static_cast<std::size_t>(v)];
+}
+
+const sim::Process& PartySim::process(NodeId v) const {
+  DYNET_CHECK(processes_[static_cast<std::size_t>(v)] != nullptr)
+      << "node " << v << " not simulated";
+  return *processes_[static_cast<std::size_t>(v)];
+}
+
+std::vector<Forward> PartySim::computeActions(Round r) {
+  DYNET_CHECK(r == acted_round_ + 1 && r == delivered_round_ + 1)
+      << "rounds must advance one at a time";
+  for (NodeId v = 0; v < n_total_; ++v) {
+    if (r <= spoiled_from_[static_cast<std::size_t>(v)]) {
+      util::CoinStream coins(public_seed_, static_cast<std::uint64_t>(v),
+                             static_cast<std::uint64_t>(r));
+      actions_[static_cast<std::size_t>(v)] =
+          processes_[static_cast<std::size_t>(v)]->onRound(r, coins);
+    }
+  }
+  acted_round_ = r;
+  std::vector<Forward> forwards;
+  forwards.reserve(own_specials_.size());
+  for (const NodeId v : own_specials_) {
+    const sim::Action& a = actions_[static_cast<std::size_t>(v)];
+    forwards.push_back({v, a.send, a.send ? a.msg : sim::Message{}});
+  }
+  return forwards;
+}
+
+void PartySim::deliver(Round r, std::span<const Forward> from_peer) {
+  DYNET_CHECK(r == acted_round_ && r == delivered_round_ + 1)
+      << "deliver must follow computeActions of the same round";
+  // Peer specials: index their forwards.
+  std::vector<const Forward*> peer_forward(static_cast<std::size_t>(n_total_),
+                                           nullptr);
+  for (const Forward& f : from_peer) {
+    DYNET_CHECK(f.node >= 0 && f.node < n_total_) << "bad forward node";
+    DYNET_CHECK(std::find(peer_specials_.begin(), peer_specials_.end(),
+                          f.node) != peer_specials_.end())
+        << "forward from non-special node " << f.node;
+    peer_forward[static_cast<std::size_t>(f.node)] = &f;
+  }
+  // Build the party's round-r adjacency.
+  const std::vector<net::Edge> edges = edges_(r);
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n_total_));
+  for (const net::Edge& e : edges) {
+    adj[static_cast<std::size_t>(e.a)].push_back(e.b);
+    adj[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  std::vector<sim::Message> inbox;
+  for (NodeId v = 0; v < n_total_; ++v) {
+    if (r >= spoiled_from_[static_cast<std::size_t>(v)]) {
+      continue;  // node is spoiled at r: delivery untrusted, process retired
+    }
+    sim::Process& proc = *processes_[static_cast<std::size_t>(v)];
+    const sim::Action& a = actions_[static_cast<std::size_t>(v)];
+    if (a.send) {
+      proc.onDeliver(r, true, {});
+      continue;
+    }
+    // Mirror the engine's canonical ascending-sender-id delivery order.
+    auto& neighbors = adj[static_cast<std::size_t>(v)];
+    std::sort(neighbors.begin(), neighbors.end());
+    inbox.clear();
+    for (const NodeId u : neighbors) {
+      if (const Forward* f = peer_forward[static_cast<std::size_t>(u)]) {
+        if (f->sent) {
+          inbox.push_back(f->msg);
+        }
+        continue;
+      }
+      // Lemma 3/4 claim (ii): a neighbour under the party's adversary is
+      // either a peer special or non-spoiled in round r-1 — its action is
+      // therefore computable.  A violation here is a construction bug.
+      DYNET_CHECK(r <= spoiled_from_[static_cast<std::size_t>(u)])
+          << "S' neighbour " << u << " of " << v << " spoiled before round "
+          << r;
+      const sim::Action& ua = actions_[static_cast<std::size_t>(u)];
+      if (ua.send) {
+        inbox.push_back(ua.msg);
+      }
+    }
+    proc.onDeliver(r, false, inbox);
+  }
+  delivered_round_ = r;
+}
+
+}  // namespace dynet::lb

@@ -1,0 +1,79 @@
+// One party's (Alice's or Bob's) simulation of the oracle protocol.
+//
+// Lemma 5 discipline: a node's round-r action is computable iff the node is
+// non-spoiled at round r-1 (r <= spoiled_from); deliveries are applied iff
+// the node stays non-spoiled at r (r < spoiled_from).  Deliveries to a
+// receiving node are read off the party's *simulated* adversary
+// neighbourhood S'; Lemma 3/4 guarantee the resulting sender set matches
+// the reference execution exactly.  Messages of the peer's special nodes
+// (B_Γ/B_Λ for Alice) arrive over the counted channel as Forwards.
+//
+// Public coins: the party derives CoinStream(seed, node, round) — the
+// identical addressing the Engine uses — so no coin communication is needed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lowerbound/chain.h"
+#include "lowerbound/gamma.h"
+#include "net/graph.h"
+#include "sim/process.h"
+
+namespace dynet::lb {
+
+/// A special node's behaviour in one round, forwarded between parties.
+struct Forward {
+  NodeId node = -1;
+  bool sent = false;
+  sim::Message msg;
+
+  /// Channel cost: one flag bit plus the payload when present.
+  std::uint64_t bits() const {
+    return 1 + (sent ? static_cast<std::uint64_t>(msg.bitSize()) : 0);
+  }
+};
+
+class PartySim {
+ public:
+  using EdgesFn = std::function<std::vector<net::Edge>(Round)>;
+
+  /// `factory_n` is the num_nodes value passed to factory.create — it must
+  /// equal the reference engine's N for N-dependent factories (legitimate
+  /// only when the theorem grants knowledge of N, as Theorem 6 does).
+  PartySim(NodeId n_total, std::vector<Round> spoiled_from, EdgesFn edges,
+           std::vector<NodeId> own_specials, std::vector<NodeId> peer_specials,
+           const sim::ProcessFactory& factory, NodeId factory_n,
+           std::uint64_t public_seed);
+
+  /// Phase 1 of round r: compute actions of every computable node; returns
+  /// the Forwards for this party's special nodes.
+  std::vector<Forward> computeActions(Round r);
+
+  /// Phase 2 of round r: apply deliveries, using the peer's Forwards for
+  /// the peer-special senders.
+  void deliver(Round r, std::span<const Forward> from_peer);
+
+  /// Did this party compute node v's action in round r?
+  bool hasAction(NodeId v, Round r) const;
+  const sim::Action& actionOf(NodeId v) const;
+  const sim::Process& process(NodeId v) const;
+  Round spoiledFrom(NodeId v) const {
+    return spoiled_from_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  NodeId n_total_;
+  std::vector<Round> spoiled_from_;
+  EdgesFn edges_;
+  std::vector<NodeId> own_specials_;
+  std::vector<NodeId> peer_specials_;
+  std::uint64_t public_seed_;
+  std::vector<std::unique_ptr<sim::Process>> processes_;  // null if never simulated
+  std::vector<sim::Action> actions_;
+  Round acted_round_ = 0;
+  Round delivered_round_ = 0;
+};
+
+}  // namespace dynet::lb

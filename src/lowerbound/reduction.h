@@ -1,0 +1,63 @@
+// The two-party reduction driver (Theorems 6 and 7).
+//
+// Given a DISJOINTNESSCP instance and an oracle-protocol factory, this
+// module runs:
+//   1. the *reference execution* of the oracle on the composition network
+//      (ground truth, with full traces),
+//   2. Alice's and Bob's lockstep simulations, exchanging only the
+//      special-node Forwards over a bit-counted channel,
+//   3. cross-validation: every action either party computes must equal the
+//      reference execution's action bit-for-bit (the operational content of
+//      Lemma 5),
+// and reports Alice's DISJOINTNESSCP claim (did the oracle's monitored node
+// output within the horizon (q-1)/2?) together with ground-truth facts the
+// benches print: realized diameters, true termination data, and whether the
+// oracle's output was actually correct (CFLOOD: all nodes held the token
+// when the source output).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cc/channel.h"
+#include "cc/disjointness_cp.h"
+#include "lowerbound/composition.h"
+
+namespace dynet::lb {
+
+struct ReductionResult {
+  int disj_truth = -1;         // evaluate(x, y)
+  int claimed_disj = -1;       // Alice's claim
+  Round horizon = 0;           // (q-1)/2
+  NodeId num_nodes = 0;
+
+  // Channel accounting over the whole simulation.
+  std::uint64_t bits_alice_to_bob = 0;
+  std::uint64_t bits_bob_to_alice = 0;
+
+  // Cross-validation outcome.
+  bool simulation_consistent = false;
+  std::uint64_t actions_checked = 0;
+
+  // Ground truth from the reference execution.
+  Round monitor_done_round = -1;  // within horizon; -1 otherwise
+  bool oracle_output_correct = false;  // CFLOOD: all held token at output
+  int token_holders_at_horizon = 0;    // CFLOOD only
+};
+
+/// Theorem 6: CFLOOD oracle on the Γ+Λ composition.
+/// `oracle` must be num_nodes-consistent with the composed network (Theorem
+/// 6 grants knowledge of N).  `wait_rounds` of the oracle defines its
+/// optimism; the driver never looks past the horizon.
+ReductionResult runCFloodReduction(const cc::Instance& inst,
+                                   const sim::ProcessFactory& oracle,
+                                   std::uint64_t public_seed);
+
+/// Theorem 7: CONSENSUS oracle on the Λ(+Υ) composition.  The oracle
+/// factory MUST ignore its num_nodes argument (the parties do not know N —
+/// only N' is available); the cross-validation catches violations.
+ReductionResult runConsensusReduction(const cc::Instance& inst,
+                                      const sim::ProcessFactory& oracle,
+                                      std::uint64_t public_seed);
+
+}  // namespace dynet::lb

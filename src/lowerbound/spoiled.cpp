@@ -1,0 +1,84 @@
+#include "lowerbound/spoiled.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dynet::lb {
+
+std::vector<LemmaViolation> checkNeighborhoodLemma(
+    NodeId n_total, const std::vector<Round>& spoiled_from,
+    const PartySim::EdgesFn& party_edges, const net::TopologySeq& ref_topologies,
+    const std::vector<std::vector<sim::Action>>& ref_actions,
+    const std::vector<NodeId>& peer_specials, Round horizon) {
+  std::vector<LemmaViolation> violations;
+  DYNET_CHECK(static_cast<Round>(ref_topologies.size()) >= horizon)
+      << "reference trace shorter than horizon";
+  DYNET_CHECK(static_cast<Round>(ref_actions.size()) >= horizon)
+      << "reference actions shorter than horizon";
+  auto is_peer_special = [&](NodeId u) {
+    return std::find(peer_specials.begin(), peer_specials.end(), u) !=
+           peer_specials.end();
+  };
+  for (Round r = 1; r <= horizon; ++r) {
+    const net::Graph& ref = *ref_topologies[static_cast<std::size_t>(r - 1)];
+    const auto& actions = ref_actions[static_cast<std::size_t>(r - 1)];
+    // Party adjacency for this round.
+    const std::vector<net::Edge> edges = party_edges(r);
+    std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n_total));
+    for (const net::Edge& e : edges) {
+      adj[static_cast<std::size_t>(e.a)].push_back(e.b);
+      adj[static_cast<std::size_t>(e.b)].push_back(e.a);
+    }
+    for (NodeId z = 0; z < n_total; ++z) {
+      if (r >= spoiled_from[static_cast<std::size_t>(z)]) {
+        continue;  // Z spoiled in round r
+      }
+      if (actions[static_cast<std::size_t>(z)].send) {
+        continue;  // lemma covers receiving nodes
+      }
+      const auto ref_span = ref.neighbors(z);
+      std::vector<NodeId> s(ref_span.begin(), ref_span.end());
+      std::vector<NodeId> sp = adj[static_cast<std::size_t>(z)];
+      std::sort(s.begin(), s.end());
+      std::sort(sp.begin(), sp.end());
+      // (i) Symmetric difference all receiving.
+      std::vector<NodeId> diff;
+      std::set_symmetric_difference(s.begin(), s.end(), sp.begin(), sp.end(),
+                                    std::back_inserter(diff));
+      for (const NodeId u : diff) {
+        if (actions[static_cast<std::size_t>(u)].send) {
+          std::ostringstream what;
+          what << "S/S' difference node " << u << " is sending";
+          violations.push_back({r, z, what.str()});
+        }
+      }
+      // (ii) S' members are peer specials or non-spoiled in round r-1.
+      for (const NodeId u : sp) {
+        if (!is_peer_special(u) &&
+            r > spoiled_from[static_cast<std::size_t>(u)]) {
+          std::ostringstream what;
+          what << "S' member " << u << " spoiled before round " << r;
+          violations.push_back({r, z, what.str()});
+        }
+      }
+      // Consequence: sender sets coincide.
+      auto senders = [&](const std::vector<NodeId>& ns) {
+        std::vector<NodeId> out;
+        for (const NodeId u : ns) {
+          if (actions[static_cast<std::size_t>(u)].send) {
+            out.push_back(u);
+          }
+        }
+        return out;
+      };
+      if (senders(s) != senders(sp)) {
+        violations.push_back({r, z, "sender sets differ between S and S'"});
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace dynet::lb

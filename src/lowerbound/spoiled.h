@@ -1,0 +1,35 @@
+// Executable form of Lemma 3 / Lemma 4 (and the neighbourhood half of
+// Lemma 5).
+//
+// Given a recorded reference execution (topologies + actions) and a party's
+// view (simulated-adversary edges + spoiled_from), checkNeighborhoodLemma
+// verifies, for every round r in [1, horizon] and every node Z that is
+// non-spoiled for the party in round r and receiving in round r:
+//   (i)  every node in (S \ S') ∪ (S' \ S) is receiving in round r, where
+//        S are Z's reference neighbours and S' its party-view neighbours;
+//   (ii) every node in S' is a peer special or non-spoiled in round r-1.
+// Consequence (checked directly too): the *sender* sets coincide, so the
+// party's deliveries equal the reference deliveries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lowerbound/party.h"
+#include "net/diameter.h"
+
+namespace dynet::lb {
+
+struct LemmaViolation {
+  Round round = 0;
+  NodeId node = -1;
+  std::string what;
+};
+
+std::vector<LemmaViolation> checkNeighborhoodLemma(
+    NodeId n_total, const std::vector<Round>& spoiled_from,
+    const PartySim::EdgesFn& party_edges, const net::TopologySeq& ref_topologies,
+    const std::vector<std::vector<sim::Action>>& ref_actions,
+    const std::vector<NodeId>& peer_specials, Round horizon);
+
+}  // namespace dynet::lb

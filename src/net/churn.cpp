@@ -1,0 +1,61 @@
+#include "net/churn.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dynet::net {
+
+namespace {
+
+std::vector<std::pair<NodeId, NodeId>> canonicalEdges(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.numEdges());
+  for (const Edge& e : g.edges()) {
+    edges.emplace_back(std::min(e.a, e.b), std::max(e.a, e.b));
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace
+
+double edgeJaccard(const Graph& a, const Graph& b) {
+  DYNET_CHECK(a.numNodes() == b.numNodes()) << "node count mismatch";
+  const auto ea = canonicalEdges(a);
+  const auto eb = canonicalEdges(b);
+  if (ea.empty() && eb.empty()) {
+    return 1.0;
+  }
+  std::vector<std::pair<NodeId, NodeId>> common;
+  std::set_intersection(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                        std::back_inserter(common));
+  const std::size_t uni = ea.size() + eb.size() - common.size();
+  return static_cast<double>(common.size()) / static_cast<double>(uni);
+}
+
+double meanConsecutiveJaccard(const TopologySeq& topologies) {
+  DYNET_CHECK(topologies.size() >= 2) << "need at least two rounds";
+  double sum = 0;
+  for (std::size_t i = 1; i < topologies.size(); ++i) {
+    sum += edgeJaccard(*topologies[i - 1], *topologies[i]);
+  }
+  return sum / static_cast<double>(topologies.size() - 1);
+}
+
+DegreeStats degreeStats(const Graph& g) {
+  DegreeStats stats;
+  stats.min = g.numNodes();
+  std::size_t total = 0;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    const int d = static_cast<int>(g.neighbors(v).size());
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    total += static_cast<std::size_t>(d);
+  }
+  stats.mean = static_cast<double>(total) / static_cast<double>(g.numNodes());
+  return stats;
+}
+
+}  // namespace dynet::net

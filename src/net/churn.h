@@ -1,0 +1,29 @@
+// Churn and shape metrics over recorded topology sequences.
+//
+// Used by bench_churn to relate protocol cost to how fast the topology
+// actually changes, and by tests to characterize the adversary zoo.
+#pragma once
+
+#include <vector>
+
+#include "net/diameter.h"
+#include "net/graph.h"
+
+namespace dynet::net {
+
+/// Jaccard similarity of the edge sets of two rounds (1 = identical,
+/// 0 = disjoint).  Both graphs must have the same node count.
+double edgeJaccard(const Graph& a, const Graph& b);
+
+/// Mean Jaccard similarity of consecutive rounds; 1 for a static network.
+double meanConsecutiveJaccard(const TopologySeq& topologies);
+
+struct DegreeStats {
+  double mean = 0;
+  int min = 0;
+  int max = 0;
+};
+
+DegreeStats degreeStats(const Graph& g);
+
+}  // namespace dynet::net

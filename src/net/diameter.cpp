@@ -1,0 +1,163 @@
+#include "net/diameter.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace dynet::net {
+
+namespace {
+
+std::size_t wordsFor(NodeId n) { return (static_cast<std::size_t>(n) + 63) / 64; }
+
+/// Advances per-node source bitmaps by one round of graph g:
+/// next[v] = cur[v] | OR over neighbors u of cur[u].
+void advance(const Graph& g, std::size_t words,
+             const std::vector<std::uint64_t>& cur,
+             std::vector<std::uint64_t>& next) {
+  next = cur;
+  for (const Edge& e : g.edges()) {
+    const std::size_t a = static_cast<std::size_t>(e.a) * words;
+    const std::size_t b = static_cast<std::size_t>(e.b) * words;
+    for (std::size_t w = 0; w < words; ++w) {
+      next[a + w] |= cur[b + w];
+      next[b + w] |= cur[a + w];
+    }
+  }
+}
+
+/// True if every node's bitmap has all of `full` set.
+bool allCovered(const std::vector<std::uint64_t>& state, NodeId n,
+                std::size_t words, const std::vector<std::uint64_t>& full) {
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t base = static_cast<std::size_t>(v) * words;
+    for (std::size_t w = 0; w < words; ++w) {
+      if ((state[base + w] & full[w]) != full[w]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> fullMask(NodeId n, std::size_t words) {
+  std::vector<std::uint64_t> full(words, ~std::uint64_t{0});
+  const int tail = static_cast<int>(n & 63);
+  if (tail != 0) {
+    full[words - 1] = (std::uint64_t{1} << tail) - 1;
+  }
+  return full;
+}
+
+}  // namespace
+
+int causalEccentricity(const TopologySeq& topologies, NodeId source,
+                       int start_round) {
+  DYNET_CHECK(!topologies.empty()) << "empty topology sequence";
+  const NodeId n = topologies.front()->numNodes();
+  DYNET_CHECK(source >= 0 && source < n) << "source out of range";
+  std::vector<char> reached(static_cast<std::size_t>(n), 0);
+  reached[static_cast<std::size_t>(source)] = 1;
+  NodeId covered = 1;
+  if (covered == n) {
+    return 0;
+  }
+  for (int z = 0; start_round + z < static_cast<int>(topologies.size()); ++z) {
+    const Graph& g = *topologies[static_cast<std::size_t>(start_round + z)];
+    DYNET_CHECK(g.numNodes() == n) << "node count changed mid-sequence";
+    std::vector<NodeId> newly;
+    for (const Edge& e : g.edges()) {
+      if (reached[static_cast<std::size_t>(e.a)] && !reached[static_cast<std::size_t>(e.b)]) {
+        newly.push_back(e.b);
+      } else if (reached[static_cast<std::size_t>(e.b)] && !reached[static_cast<std::size_t>(e.a)]) {
+        newly.push_back(e.a);
+      }
+    }
+    for (NodeId v : newly) {
+      if (!reached[static_cast<std::size_t>(v)]) {
+        reached[static_cast<std::size_t>(v)] = 1;
+        ++covered;
+      }
+    }
+    if (covered == n) {
+      return z + 1;
+    }
+  }
+  return -1;
+}
+
+int allSourcesEccentricity(const TopologySeq& topologies, int start_round) {
+  DYNET_CHECK(!topologies.empty()) << "empty topology sequence";
+  const NodeId n = topologies.front()->numNodes();
+  const std::size_t words = wordsFor(n);
+  const auto full = fullMask(n, words);
+
+  // state[v] = bitmap of sources that have causally reached v.
+  std::vector<std::uint64_t> state(static_cast<std::size_t>(n) * words, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    state[static_cast<std::size_t>(v) * words + (static_cast<std::size_t>(v) >> 6)] |=
+        std::uint64_t{1} << (v & 63);
+  }
+  if (n == 1) {
+    return 0;
+  }
+  std::vector<std::uint64_t> next;
+  for (int z = 0; start_round + z < static_cast<int>(topologies.size()); ++z) {
+    const Graph& g = *topologies[static_cast<std::size_t>(start_round + z)];
+    DYNET_CHECK(g.numNodes() == n) << "node count changed mid-sequence";
+    advance(g, words, state, next);
+    state.swap(next);
+    if (allCovered(state, n, words, full)) {
+      return z + 1;
+    }
+  }
+  return -1;
+}
+
+int dynamicDiameter(const TopologySeq& topologies, int max_start_round) {
+  DYNET_CHECK(max_start_round >= 0) << "max_start_round=" << max_start_round;
+  std::vector<int> eccs(static_cast<std::size_t>(max_start_round) + 1, 0);
+  util::ThreadPool::shared().parallelFor(
+      eccs.size(), [&](std::size_t i) {
+        eccs[i] = allSourcesEccentricity(topologies, static_cast<int>(i));
+      });
+  int worst = 0;
+  for (int e : eccs) {
+    if (e < 0) {
+      return -1;
+    }
+    worst = std::max(worst, e);
+  }
+  return worst;
+}
+
+std::vector<std::uint64_t> causalReach(const TopologySeq& topologies,
+                                       NodeId source, int start_round,
+                                       int budget) {
+  DYNET_CHECK(!topologies.empty()) << "empty topology sequence";
+  const NodeId n = topologies.front()->numNodes();
+  DYNET_CHECK(source >= 0 && source < n) << "source out of range";
+  const std::size_t words = wordsFor(n);
+  std::vector<std::uint64_t> reached(words, 0);
+  reached[static_cast<std::size_t>(source) >> 6] |= std::uint64_t{1} << (source & 63);
+  for (int z = 0; z < budget && start_round + z < static_cast<int>(topologies.size());
+       ++z) {
+    const Graph& g = *topologies[static_cast<std::size_t>(start_round + z)];
+    std::vector<std::uint64_t> next = reached;
+    for (const Edge& e : g.edges()) {
+      const bool ra = bitmapTest(reached, e.a);
+      const bool rb = bitmapTest(reached, e.b);
+      if (ra && !rb) {
+        next[static_cast<std::size_t>(e.b) >> 6] |= std::uint64_t{1} << (e.b & 63);
+      } else if (rb && !ra) {
+        next[static_cast<std::size_t>(e.a) >> 6] |= std::uint64_t{1} << (e.a & 63);
+      }
+    }
+    reached.swap(next);
+  }
+  return reached;
+}
+
+}  // namespace dynet::net

@@ -1,0 +1,49 @@
+// Dynamic (causal) diameter of a recorded topology sequence.
+//
+// Following the paper (§2): (U, r) → (V, r+1) iff U = V or (U,V) is an edge
+// in round r+1; ⇝ is the transitive closure.  The dynamic diameter is the
+// minimum D such that (U, r) ⇝ (V, r+D) for every r ≥ 0 and all U, V.
+//
+// topologies[i] is the graph of round i+1 (rounds are 1-based in the model;
+// index 0 holds round 1).  All computations advance source-set bitmaps one
+// round at a time: reach_{z+1}[v] = reach_z[v] ∪ { reach_z[u] : (u,v) edge in
+// round r+z+1 } — an E·N/64 word-ops step, parallelized over start rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace dynet::net {
+
+using TopologySeq = std::vector<GraphPtr>;
+
+/// Rounds needed from (source, start_round) until the causal reach covers
+/// all nodes; -1 if the recorded horizon is too short.
+/// start_round is 0-based into `topologies` (start_round = 0 means the
+/// paper's round 0, i.e. influence starts flowing in round 1).
+int causalEccentricity(const TopologySeq& topologies, NodeId source,
+                       int start_round = 0);
+
+/// Max causal eccentricity over all sources for one start round; -1 if the
+/// horizon is too short for some source.
+int allSourcesEccentricity(const TopologySeq& topologies, int start_round = 0);
+
+/// Dynamic diameter over start rounds 0..max_start_round (inclusive).
+/// Returns -1 if any (source, start) pair fails to cover all nodes within
+/// the recorded horizon.  Parallelized over start rounds.
+int dynamicDiameter(const TopologySeq& topologies, int max_start_round);
+
+/// Set of nodes causally reachable from (source, start_round) within
+/// `budget` rounds (bitmap, one bit per node).
+std::vector<std::uint64_t> causalReach(const TopologySeq& topologies,
+                                       NodeId source, int start_round,
+                                       int budget);
+
+/// True if bit v is set in a bitmap produced by causalReach.
+inline bool bitmapTest(const std::vector<std::uint64_t>& bits, NodeId v) {
+  return (bits[static_cast<std::size_t>(v) >> 6] >> (v & 63)) & 1;
+}
+
+}  // namespace dynet::net

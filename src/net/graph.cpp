@@ -1,0 +1,184 @@
+#include "net/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dynet::net {
+
+namespace {
+
+/// Plain union-find for component counting.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+      return false;
+    }
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
+    : num_nodes_(num_nodes), edges_(std::move(edges)) {
+  DYNET_CHECK(num_nodes_ >= 1) << "graph needs at least one node";
+  for (const Edge& e : edges_) {
+    DYNET_CHECK(e.a >= 0 && e.a < num_nodes_ && e.b >= 0 && e.b < num_nodes_)
+        << "edge (" << e.a << "," << e.b << ") out of range, n=" << num_nodes_;
+    DYNET_CHECK(e.a != e.b) << "self-loop at " << e.a;
+  }
+}
+
+void Graph::buildAdjacency() const {
+  if (!adj_offsets_.empty()) {
+    return;
+  }
+  adj_offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++adj_offsets_[static_cast<std::size_t>(e.a) + 1];
+    ++adj_offsets_[static_cast<std::size_t>(e.b) + 1];
+  }
+  for (std::size_t i = 1; i < adj_offsets_.size(); ++i) {
+    adj_offsets_[i] += adj_offsets_[i - 1];
+  }
+  adj_list_.resize(edges_.size() * 2);
+  std::vector<std::int32_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    adj_list_[static_cast<std::size_t>(cursor[e.a]++)] = e.b;
+    adj_list_[static_cast<std::size_t>(cursor[e.b]++)] = e.a;
+  }
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  DYNET_CHECK(v >= 0 && v < num_nodes_) << "node " << v << " out of range";
+  buildAdjacency();
+  const auto begin = static_cast<std::size_t>(adj_offsets_[v]);
+  const auto end = static_cast<std::size_t>(adj_offsets_[static_cast<std::size_t>(v) + 1]);
+  return {adj_list_.data() + begin, end - begin};
+}
+
+void Graph::computeComponents() const {
+  if (component_count_.has_value()) {
+    return;
+  }
+  UnionFind uf(num_nodes_);
+  int components = num_nodes_;
+  for (const Edge& e : edges_) {
+    if (uf.unite(e.a, e.b)) {
+      --components;
+    }
+  }
+  component_count_ = components;
+}
+
+bool Graph::connected() const {
+  computeComponents();
+  return *component_count_ == 1;
+}
+
+int Graph::componentCount() const {
+  computeComponents();
+  return *component_count_;
+}
+
+bool Graph::hasEdge(NodeId a, NodeId b) const {
+  const auto ns = neighbors(a);
+  return std::find(ns.begin(), ns.end(), b) != ns.end();
+}
+
+GraphPtr makePath(NodeId n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1});
+  }
+  return std::make_shared<Graph>(n, std::move(edges));
+}
+
+GraphPtr makeRing(NodeId n) {
+  DYNET_CHECK(n >= 3) << "ring needs >= 3 nodes";
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1});
+  }
+  edges.push_back({n - 1, 0});
+  return std::make_shared<Graph>(n, std::move(edges));
+}
+
+GraphPtr makeStar(NodeId n, NodeId center) {
+  DYNET_CHECK(center >= 0 && center < n) << "bad star center";
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (NodeId i = 0; i < n; ++i) {
+    if (i != center) {
+      edges.push_back({center, i});
+    }
+  }
+  return std::make_shared<Graph>(n, std::move(edges));
+}
+
+GraphPtr makeClique(NodeId n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      edges.push_back({i, j});
+    }
+  }
+  return std::make_shared<Graph>(n, std::move(edges));
+}
+
+GraphPtr makeTorus(NodeId rows, NodeId cols) {
+  DYNET_CHECK(rows >= 2 && cols >= 2) << "torus needs >= 2x2";
+  const NodeId n = rows * cols;
+  std::vector<Edge> edges;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      const NodeId right = id(r, (c + 1) % cols);
+      const NodeId down = id((r + 1) % rows, c);
+      if (right != id(r, c)) {
+        edges.push_back({id(r, c), right});
+      }
+      if (down != id(r, c)) {
+        edges.push_back({id(r, c), down});
+      }
+    }
+  }
+  // Deduplicate (2-wide dimensions create duplicate wrap edges).
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    return std::pair(std::min(x.a, x.b), std::max(x.a, x.b)) <
+           std::pair(std::min(y.a, y.b), std::max(y.a, y.b));
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& x, const Edge& y) {
+                            return std::pair(std::min(x.a, x.b), std::max(x.a, x.b)) ==
+                                   std::pair(std::min(y.a, y.b), std::max(y.a, y.b));
+                          }),
+              edges.end());
+  return std::make_shared<Graph>(n, std::move(edges));
+}
+
+}  // namespace dynet::net

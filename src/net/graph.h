@@ -1,0 +1,67 @@
+// Per-round topology representation.
+//
+// A Graph is the (undirected, simple) topology of one round.  Adjacency
+// (CSR) and connectivity are computed lazily and cached, so adversaries that
+// return the same Graph for many rounds pay once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dynet::net {
+
+using NodeId = std::int32_t;
+
+struct Edge {
+  NodeId a;
+  NodeId b;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph(NodeId num_nodes, std::vector<Edge> edges);
+
+  NodeId numNodes() const { return num_nodes_; }
+  std::span<const Edge> edges() const { return edges_; }
+  std::size_t numEdges() const { return edges_.size(); }
+
+  /// Neighbors of v (requires the CSR index; built on first use).
+  std::span<const NodeId> neighbors(NodeId v) const;
+
+  bool connected() const;
+  bool hasEdge(NodeId a, NodeId b) const;
+
+  /// Number of connected components.
+  int componentCount() const;
+
+ private:
+  void buildAdjacency() const;
+  void computeComponents() const;
+
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+
+  // Lazy caches.  Graphs are logically immutable; callers must not share a
+  // Graph across threads while these are being built (each simulation run is
+  // single-threaded; cross-run sharing is read-only after a warm-up call).
+  mutable std::vector<std::int32_t> adj_offsets_;
+  mutable std::vector<NodeId> adj_list_;
+  mutable std::optional<int> component_count_;
+};
+
+using GraphPtr = std::shared_ptr<const Graph>;
+
+/// Convenience constructors used by adversaries and tests.
+GraphPtr makePath(NodeId n);
+GraphPtr makeRing(NodeId n);
+GraphPtr makeStar(NodeId n, NodeId center = 0);
+GraphPtr makeClique(NodeId n);
+/// 2-D torus on an r x c grid (n = r*c).
+GraphPtr makeTorus(NodeId rows, NodeId cols);
+
+}  // namespace dynet::net

@@ -1,0 +1,47 @@
+#include "protocols/consensus_known_d.h"
+
+#include "util/check.h"
+
+namespace dynet::proto {
+
+namespace {
+
+/// Max-flood whose output() is the best *key* instead of the value.
+class LeaderProcess : public MaxFloodProcess {
+ public:
+  using MaxFloodProcess::MaxFloodProcess;
+  std::uint64_t output() const override { return bestKey(); }
+};
+
+}  // namespace
+
+ConsensusKnownDFactory::ConsensusKnownDFactory(std::vector<std::uint64_t> inputs,
+                                               sim::Round diameter, int gamma)
+    : inputs_(std::move(inputs)), diameter_(diameter), gamma_(gamma) {
+  for (const std::uint64_t in : inputs_) {
+    DYNET_CHECK(in <= 1) << "consensus inputs are binary, got " << in;
+  }
+}
+
+std::unique_ptr<sim::Process> ConsensusKnownDFactory::create(
+    sim::NodeId node, sim::NodeId num_nodes) const {
+  DYNET_CHECK(static_cast<std::size_t>(num_nodes) == inputs_.size())
+      << "inputs size mismatch";
+  const int key_bits = util::bitWidthFor(static_cast<std::uint64_t>(num_nodes) + 1);
+  return std::make_unique<MaxFloodProcess>(
+      static_cast<std::uint64_t>(node) + 1, inputs_[static_cast<std::size_t>(node)],
+      key_bits, /*value_bits=*/1, knownDRounds(diameter_, num_nodes, gamma_));
+}
+
+LeaderKnownDFactory::LeaderKnownDFactory(sim::Round diameter, int gamma)
+    : diameter_(diameter), gamma_(gamma) {}
+
+std::unique_ptr<sim::Process> LeaderKnownDFactory::create(
+    sim::NodeId node, sim::NodeId num_nodes) const {
+  const int key_bits = util::bitWidthFor(static_cast<std::uint64_t>(num_nodes) + 1);
+  return std::make_unique<LeaderProcess>(
+      static_cast<std::uint64_t>(node) + 1, /*value=*/1, key_bits,
+      /*value_bits=*/1, knownDRounds(diameter_, num_nodes, gamma_));
+}
+
+}  // namespace dynet::proto

@@ -1,0 +1,45 @@
+// Known-diameter CONSENSUS and LEADERELECT (trivial upper bounds, paper §1).
+//
+// Both are max-flood instantiations running knownDRounds(D, N) rounds:
+//   * CONSENSUS: key = id, value = input bit, decide the max id's input —
+//     termination/agreement/validity hold whp,
+//   * LEADERELECT: output = max id seen.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "protocols/max_flood.h"
+#include "sim/process.h"
+
+namespace dynet::proto {
+
+/// CONSENSUS with known diameter.  Outputs the decided bit.
+class ConsensusKnownDFactory : public sim::ProcessFactory {
+ public:
+  ConsensusKnownDFactory(std::vector<std::uint64_t> inputs, sim::Round diameter,
+                         int gamma = 6);
+
+  std::unique_ptr<sim::Process> create(sim::NodeId node,
+                                       sim::NodeId num_nodes) const override;
+
+ private:
+  std::vector<std::uint64_t> inputs_;
+  sim::Round diameter_;
+  int gamma_;
+};
+
+/// LEADERELECT with known diameter.  Outputs the leader id (1-based key).
+class LeaderKnownDFactory : public sim::ProcessFactory {
+ public:
+  explicit LeaderKnownDFactory(sim::Round diameter, int gamma = 6);
+
+  std::unique_ptr<sim::Process> create(sim::NodeId node,
+                                       sim::NodeId num_nodes) const override;
+
+ private:
+  sim::Round diameter_;
+  int gamma_;
+};
+
+}  // namespace dynet::proto

@@ -1,0 +1,84 @@
+#include "protocols/counting.h"
+
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace dynet::proto {
+
+namespace {
+constexpr int kCoordBits = 10;
+constexpr int kValueBits = 16;
+}  // namespace
+
+CountingProcess::CountingProcess(int k, sim::Round total_rounds,
+                                 std::uint64_t exp_seed)
+    : k_(k), total_rounds_(total_rounds), mins_(k) {
+  DYNET_CHECK(k_ >= 1 && k_ < (1 << kCoordBits)) << "k=" << k_;
+  DYNET_CHECK(total_rounds_ >= 1) << "total_rounds=" << total_rounds_;
+  util::Rng rng(exp_seed);
+  mins_.contribute(rng);
+}
+
+sim::Action CountingProcess::onRound(sim::Round round, util::CoinStream& coins) {
+  sim::Action action;
+  if (coins.coin()) {
+    const int coord = static_cast<int>((round - 1) % k_);
+    action.send = true;
+    action.msg =
+        sim::MessageBuilder()
+            .put(static_cast<std::uint64_t>(coord), kCoordBits)
+            .put(util::encodeReal16(mins_.coordinate(coord)== std::numeric_limits<double>::infinity()
+                                        ? 0.0
+                                        : mins_.coordinate(coord)),
+                 kValueBits)
+            .build();
+  }
+  return action;
+}
+
+void CountingProcess::onDeliver(sim::Round round, bool /*sent*/,
+                                std::span<const sim::Message> received) {
+  for (const sim::Message& msg : received) {
+    sim::MessageReader reader(msg);
+    const int coord = static_cast<int>(reader.get(kCoordBits));
+    const double value = util::decodeReal16(
+        static_cast<std::uint16_t>(reader.get(kValueBits)));
+    if (value > 0.0) {
+      mins_.merge(coord, value);
+    }
+  }
+  if (round >= total_rounds_) {
+    done_ = true;
+  }
+}
+
+std::uint64_t CountingProcess::stateDigest() const {
+  std::uint64_t h = 0xabcdef0123456789ULL;
+  for (int j = 0; j < k_; ++j) {
+    h = util::hashCombine(h, util::encodeReal16(std::isinf(mins_.coordinate(j))
+                                                    ? 0.0
+                                                    : mins_.coordinate(j)));
+  }
+  return h;
+}
+
+CountingFactory::CountingFactory(int k, sim::Round total_rounds,
+                                 std::uint64_t master_seed)
+    : k_(k), total_rounds_(total_rounds), master_seed_(master_seed) {}
+
+std::unique_ptr<sim::Process> CountingFactory::create(
+    sim::NodeId node, sim::NodeId /*num_nodes*/) const {
+  return std::make_unique<CountingProcess>(
+      k_, total_rounds_, util::privateSeed(master_seed_, static_cast<std::uint64_t>(node)));
+}
+
+sim::Round countingRounds(int k, sim::Round diameter, sim::NodeId num_nodes,
+                          int gamma) {
+  DYNET_CHECK(diameter >= 1) << "diameter=" << diameter;
+  return static_cast<sim::Round>(k) *
+             (gamma * diameter *
+              util::bitWidthFor(static_cast<std::uint64_t>(num_nodes))) +
+         k;
+}
+
+}  // namespace dynet::proto

@@ -1,0 +1,65 @@
+// Known-diameter estimate-N / HEAR-FROM-N-NODES (paper §1 trivial upper
+// bounds).
+//
+// Every node contributes k Exponential(1) variates; coordinate-wise minima
+// are disseminated by random send/receive flooding with a public
+// round-robin coordinate schedule (round r carries coordinate (r-1) mod k).
+// After total_rounds = Θ(k · D · log N) rounds, each node outputs
+// (k-1)/Σ min_j — an estimate of N with relative error O(1/√k) whp.
+//
+// HEAR-FROM-N-NODES follows: a node has whp heard (transitively) from every
+// node exactly when its minima equal the global minima; the estimate
+// doubles as the count of nodes heard from.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "protocols/majority.h"
+#include "sim/process.h"
+
+namespace dynet::proto {
+
+class CountingProcess : public sim::Process {
+ public:
+  /// `exp_seed` seeds this node's private exponentials.
+  CountingProcess(int k, sim::Round total_rounds, std::uint64_t exp_seed);
+
+  sim::Action onRound(sim::Round round, util::CoinStream& coins) override;
+  void onDeliver(sim::Round round, bool sent,
+                 std::span<const sim::Message> received) override;
+  bool done() const override { return done_; }
+  /// Fixed-point estimate: round(estimate * 256).
+  std::uint64_t output() const override {
+    return static_cast<std::uint64_t>(std::llround(estimate() * 256.0));
+  }
+  std::uint64_t stateDigest() const override;
+
+  double estimate() const { return mins_.estimate(); }
+
+ private:
+  int k_;
+  sim::Round total_rounds_;
+  MinVector mins_;
+  bool done_ = false;
+};
+
+class CountingFactory : public sim::ProcessFactory {
+ public:
+  /// total_rounds chosen by the caller; see countingRounds().
+  CountingFactory(int k, sim::Round total_rounds, std::uint64_t master_seed);
+
+  std::unique_ptr<sim::Process> create(sim::NodeId node,
+                                       sim::NodeId num_nodes) const override;
+
+ private:
+  int k_;
+  sim::Round total_rounds_;
+  std::uint64_t master_seed_;
+};
+
+/// Round budget: every coordinate needs Θ(D log N) of its own slots.
+sim::Round countingRounds(int k, sim::Round diameter, sim::NodeId num_nodes,
+                          int gamma = 4);
+
+}  // namespace dynet::proto

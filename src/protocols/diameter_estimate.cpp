@@ -1,0 +1,177 @@
+#include "protocols/diameter_estimate.h"
+
+#include <cmath>
+
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace dynet::proto {
+
+namespace {
+constexpr int kTagBits = 1;
+constexpr std::uint64_t kTagFlood = 0;
+constexpr std::uint64_t kTagCount = 1;
+constexpr int kCoordBits = 10;
+constexpr int kValueBits = 16;
+constexpr int kDhatBits = 26;
+}  // namespace
+
+DiameterEstimateSchedule::DiameterEstimateSchedule(
+    const DiameterEstimateConfig& config)
+    : k_(config.k),
+      gamma_count_(config.gamma_count),
+      log_n_(util::bitWidthFor(static_cast<std::uint64_t>(
+          std::max<sim::NodeId>(2, config.n)))) {
+  DYNET_CHECK(config.n >= 1) << "n=" << config.n;
+  DYNET_CHECK(k_ >= 1 && k_ < (1 << kCoordBits)) << "k=" << k_;
+  phase_starts_.push_back(1);
+}
+
+sim::Round DiameterEstimateSchedule::floodLen(int phase) const {
+  return sim::Round{1} << std::min(phase, 24);
+}
+
+sim::Round DiameterEstimateSchedule::countLen(int phase) const {
+  return static_cast<sim::Round>(k_) *
+             (gamma_count_ * floodLen(phase) * log_n_) +
+         k_;
+}
+
+sim::Round DiameterEstimateSchedule::cumulativeFlood(int phase) const {
+  sim::Round total = 0;
+  for (int p = 0; p <= phase; ++p) {
+    total += floodLen(p);
+  }
+  return total;
+}
+
+DiameterEstimateSchedule::Pos DiameterEstimateSchedule::locate(
+    sim::Round round) const {
+  DYNET_CHECK(round >= 1) << "round=" << round;
+  auto phaseStart = [this](int phase) {
+    while (static_cast<int>(phase_starts_.size()) <= phase) {
+      const int p = static_cast<int>(phase_starts_.size()) - 1;
+      phase_starts_.push_back(phase_starts_.back() + floodLen(p) + countLen(p));
+    }
+    return phase_starts_[static_cast<std::size_t>(phase)];
+  };
+  int phase = 0;
+  while (phaseStart(phase + 1) <= round) {
+    ++phase;
+  }
+  const sim::Round off = round - phaseStart(phase);
+  Pos pos{phase, 0, 0, 0};
+  if (off < floodLen(phase)) {
+    pos.stage = 0;
+    pos.offset = off;
+    pos.stage_len = floodLen(phase);
+  } else {
+    pos.stage = 1;
+    pos.offset = off - floodLen(phase);
+    pos.stage_len = countLen(phase);
+  }
+  return pos;
+}
+
+DiameterEstimateProcess::DiameterEstimateProcess(
+    sim::NodeId node, const DiameterEstimateConfig& config,
+    std::uint64_t private_seed)
+    : node_(node),
+      config_(config),
+      schedule_(config),
+      private_rng_(private_seed),
+      reached_(node == 0),
+      mins_(config.k) {}
+
+void DiameterEstimateProcess::enterStage(
+    const DiameterEstimateSchedule::Pos& pos) {
+  if (pos.phase == cur_phase_ && pos.stage == cur_stage_) {
+    return;
+  }
+  // Exit of a counting stage: the root evaluates its reach count.
+  if (cur_stage_ == 1 && node_ == 0 && dhat_ == 0) {
+    if (mins_.estimate() >= (1.0 - config_.epsilon) * config_.n) {
+      dhat_ = static_cast<std::uint64_t>(schedule_.cumulativeFlood(cur_phase_));
+    }
+  }
+  cur_phase_ = pos.phase;
+  cur_stage_ = pos.stage;
+  if (pos.stage == 1) {
+    mins_.clear();
+    counted_this_phase_ = reached_;
+    if (reached_) {
+      mins_.contribute(private_rng_);
+    }
+  }
+}
+
+sim::Action DiameterEstimateProcess::onRound(sim::Round round,
+                                             util::CoinStream& coins) {
+  const auto pos = schedule_.locate(round);
+  enterStage(pos);
+  sim::Action action;
+  if (pos.stage == 0) {
+    // Flood: reached nodes always send (deterministic flooding semantics).
+    if (reached_) {
+      action.send = true;
+      action.msg = sim::MessageBuilder()
+                       .put(kTagFlood, kTagBits)
+                       .put(dhat_, kDhatBits)
+                       .build();
+    }
+  } else {
+    if (coins.coin()) {
+      const int coord = static_cast<int>(pos.offset % schedule_.k());
+      const double value = mins_.coordinate(coord);
+      action.send = true;
+      action.msg = sim::MessageBuilder()
+                       .put(kTagCount, kTagBits)
+                       .put(static_cast<std::uint64_t>(coord), kCoordBits)
+                       .put(std::isinf(value) ? 0 : util::encodeReal16(value),
+                            kValueBits)
+                       .put(dhat_, kDhatBits)
+                       .build();
+    }
+  }
+  return action;
+}
+
+void DiameterEstimateProcess::onDeliver(sim::Round /*round*/, bool /*sent*/,
+                                        std::span<const sim::Message> received) {
+  for (const sim::Message& msg : received) {
+    sim::MessageReader reader(msg);
+    const std::uint64_t tag = reader.get(kTagBits);
+    if (tag == kTagFlood) {
+      reached_ = true;
+      const std::uint64_t dhat = reader.get(kDhatBits);
+      if (dhat != 0 && dhat_ == 0) {
+        dhat_ = dhat;
+      }
+    } else {
+      const int coord = static_cast<int>(reader.get(kCoordBits));
+      const double value =
+          util::decodeReal16(static_cast<std::uint16_t>(reader.get(kValueBits)));
+      const std::uint64_t dhat = reader.get(kDhatBits);
+      if (value > 0.0 && coord < mins_.k()) {
+        mins_.merge(coord, value);
+      }
+      if (dhat != 0 && dhat_ == 0) {
+        dhat_ = dhat;
+      }
+    }
+  }
+}
+
+DiameterEstimateFactory::DiameterEstimateFactory(DiameterEstimateConfig config,
+                                                 std::uint64_t master_seed)
+    : config_(config), master_seed_(master_seed) {}
+
+std::unique_ptr<sim::Process> DiameterEstimateFactory::create(
+    sim::NodeId node, sim::NodeId num_nodes) const {
+  DYNET_CHECK(config_.n == num_nodes)
+      << "config.n=" << config_.n << " but network has " << num_nodes;
+  return std::make_unique<DiameterEstimateProcess>(
+      node, config_, util::privateSeed(master_seed_, static_cast<std::uint64_t>(node)));
+}
+
+}  // namespace dynet::proto

@@ -1,0 +1,108 @@
+// Diameter estimation with known N (paper §1's framing).
+//
+// "If D is not known beforehand, in typical static networks, D can still
+// be efficiently estimated ... in just O(D) rounds.  This estimate can
+// then be plugged into protocols requiring the knowledge of D.  Hence, the
+// complexities of problems in static networks are usually not sensitive to
+// unknown diameter."  —  and, crucially: "A dynamic network's diameter
+// depends on the FUTURE behavior of the network, and hence is usually
+// unknown to the protocol."
+//
+// This protocol makes both halves executable.  Phases p = 0, 1, … with
+// guess D' = 2^p:
+//   Stage F — deterministic flooding from node 0 for D' rounds (reached
+//             nodes keep relaying; the reached set is monotone across
+//             phases).  Piggybacks the root's announcement once done.
+//   Stage C — exponential-minima counting of the reached set for
+//             Θ(k·D'·log N) rounds.
+// The root declares D̂ = (cumulative flooding rounds so far) when its count
+// estimate clears (1-ε)·N.  On a static network the reached set is the
+// ball around the root, so the declaration happens once cumulative
+// flooding ≥ ecc(root), giving D̂ ∈ [ecc, 4·ecc] — an O(D)-quality
+// estimate.  On a dynamic network the estimate is only a statement about
+// the PAST: an adversary can present a clique until the declaration and a
+// path afterwards, making D̂ arbitrarily wrong for the future
+// (bench_static_vs_dynamic measures exactly this).
+#pragma once
+
+#include <memory>
+
+#include "protocols/majority.h"
+#include "sim/process.h"
+
+namespace dynet::proto {
+
+struct DiameterEstimateConfig {
+  sim::NodeId n = 0;      // known network size
+  double epsilon = 0.1;   // count threshold (1-ε)·N
+  int k = 96;             // counting coordinates
+  int gamma_count = 3;    // counting stage multiplier
+};
+
+class DiameterEstimateSchedule {
+ public:
+  explicit DiameterEstimateSchedule(const DiameterEstimateConfig& config);
+
+  struct Pos {
+    int phase;
+    int stage;  // 0 = F (flood), 1 = C (count)
+    sim::Round offset;
+    sim::Round stage_len;
+  };
+
+  Pos locate(sim::Round round) const;
+  sim::Round floodLen(int phase) const;
+  sim::Round countLen(int phase) const;
+  /// Total flooding rounds across stages F of phases 0..p inclusive.
+  sim::Round cumulativeFlood(int phase) const;
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  int gamma_count_;
+  int log_n_;
+  mutable std::vector<sim::Round> phase_starts_;
+};
+
+class DiameterEstimateProcess : public sim::Process {
+ public:
+  DiameterEstimateProcess(sim::NodeId node, const DiameterEstimateConfig& config,
+                          std::uint64_t private_seed);
+
+  sim::Action onRound(sim::Round round, util::CoinStream& coins) override;
+  void onDeliver(sim::Round round, bool sent,
+                 std::span<const sim::Message> received) override;
+  bool done() const override { return dhat_ > 0; }
+  /// The diameter estimate D̂ (cumulative flood rounds at declaration).
+  std::uint64_t output() const override { return dhat_; }
+
+  bool reached() const { return reached_; }
+
+ private:
+  void enterStage(const DiameterEstimateSchedule::Pos& pos);
+
+  sim::NodeId node_;
+  DiameterEstimateConfig config_;
+  DiameterEstimateSchedule schedule_;
+  util::Rng private_rng_;
+  int cur_phase_ = -1;
+  int cur_stage_ = -1;
+  bool reached_;
+  MinVector mins_;
+  bool counted_this_phase_ = false;
+  std::uint64_t dhat_ = 0;  // nonzero once known (root decides; others hear)
+};
+
+class DiameterEstimateFactory : public sim::ProcessFactory {
+ public:
+  DiameterEstimateFactory(DiameterEstimateConfig config, std::uint64_t master_seed);
+
+  std::unique_ptr<sim::Process> create(sim::NodeId node,
+                                       sim::NodeId num_nodes) const override;
+
+ private:
+  DiameterEstimateConfig config_;
+  std::uint64_t master_seed_;
+};
+
+}  // namespace dynet::proto

@@ -1,0 +1,57 @@
+#include "protocols/flood.h"
+
+#include "util/check.h"
+
+namespace dynet::proto {
+
+FloodProcess::FloodProcess(sim::NodeId node, sim::NodeId source,
+                           std::uint64_t token, int token_bits, FloodMode mode,
+                           sim::Round halt_round)
+    : node_(node),
+      token_(token),
+      token_bits_(token_bits),
+      mode_(mode),
+      halt_round_(halt_round),
+      has_token_(node == source),
+      token_round_(node == source ? 0 : -1) {
+  DYNET_CHECK(token_bits_ >= 1 && token_bits_ <= 64) << "token_bits=" << token_bits_;
+}
+
+sim::Action FloodProcess::onRound(sim::Round /*round*/, util::CoinStream& coins) {
+  sim::Action action;
+  if (has_token_ &&
+      (mode_ == FloodMode::kDeterministic || coins.coin())) {
+    action.send = true;
+    action.msg = sim::MessageBuilder().put(token_, token_bits_).build();
+  }
+  return action;
+}
+
+void FloodProcess::onDeliver(sim::Round round, bool /*sent*/,
+                             std::span<const sim::Message> received) {
+  if (!has_token_ && !received.empty()) {
+    // Any received message carries the token (single-token protocol).
+    sim::MessageReader reader(received.front());
+    const std::uint64_t value = reader.get(token_bits_);
+    DYNET_CHECK(value == token_) << "foreign token " << value;
+    has_token_ = true;
+    token_round_ = round;
+  }
+  if (halt_round_ > 0 && round >= halt_round_) {
+    done_ = true;
+  }
+}
+
+std::uint64_t FloodProcess::stateDigest() const {
+  return util::hashCombine(
+      util::hashCombine(static_cast<std::uint64_t>(node_), has_token_ ? 1 : 0),
+      static_cast<std::uint64_t>(token_round_ + 1));
+}
+
+std::unique_ptr<sim::Process> FloodFactory::create(sim::NodeId node,
+                                                   sim::NodeId /*num_nodes*/) const {
+  return std::make_unique<FloodProcess>(node, source_, token_, token_bits_,
+                                        mode_, halt_round_);
+}
+
+}  // namespace dynet::proto

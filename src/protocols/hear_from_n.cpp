@@ -1,0 +1,44 @@
+#include "protocols/hear_from_n.h"
+
+#include "util/check.h"
+
+namespace dynet::proto {
+
+HearFromNProcess::HearFromNProcess(int k, sim::Round max_rounds,
+                                   std::uint64_t exp_seed, sim::NodeId n_total,
+                                   double epsilon)
+    : CountingProcess(k, max_rounds, exp_seed),
+      n_total_(n_total),
+      epsilon_(epsilon),
+      max_rounds_(max_rounds) {
+  DYNET_CHECK(epsilon_ > 0.0 && epsilon_ < 1.0) << "epsilon=" << epsilon_;
+  DYNET_CHECK(n_total_ >= 1) << "n_total=" << n_total_;
+}
+
+void HearFromNProcess::onDeliver(sim::Round round, bool sent,
+                                 std::span<const sim::Message> received) {
+  CountingProcess::onDeliver(round, sent, received);
+  if (!claimed_ && estimate() >= (1.0 - epsilon_) * n_total_) {
+    claimed_ = true;
+    claim_round_ = round;
+  }
+  if (round >= max_rounds_) {
+    timed_out_ = true;
+  }
+}
+
+HearFromNFactory::HearFromNFactory(int k, sim::Round max_rounds,
+                                   std::uint64_t master_seed, double epsilon)
+    : k_(k),
+      max_rounds_(max_rounds),
+      master_seed_(master_seed),
+      epsilon_(epsilon) {}
+
+std::unique_ptr<sim::Process> HearFromNFactory::create(
+    sim::NodeId node, sim::NodeId num_nodes) const {
+  return std::make_unique<HearFromNProcess>(
+      k_, max_rounds_, util::privateSeed(master_seed_, static_cast<std::uint64_t>(node)),
+      num_nodes, epsilon_);
+}
+
+}  // namespace dynet::proto

@@ -1,0 +1,63 @@
+// HEAR-FROM-N-NODES (Kuhn & Oshman [16], used by the paper §1).
+//
+// A node solves the problem when information from all N nodes has causally
+// reached it.  With N and D known, the trivial upper bound runs the
+// exponential-minima aggregation and claims "heard from all" once its
+// cardinality estimate clears (1-ε)·N — sound whp because the estimator
+// under-counts until dissemination is complete and over-counts only with
+// the estimator's one-sided statistical error.
+//
+// The paper's lower bounds carry over to HEAR-FROM-N-NODES (its §1), which
+// in turn reduces to globally-sensitive functions such as MAX: a node that
+// computes MAX correctly on worst-case inputs must have heard from all N
+// nodes.  reduceMaxToHearFromN documents that direction executably.
+#pragma once
+
+#include <memory>
+
+#include "protocols/counting.h"
+#include "sim/process.h"
+
+namespace dynet::proto {
+
+class HearFromNProcess : public CountingProcess {
+ public:
+  /// Claims success once estimate >= (1 - epsilon) * n_total; `max_rounds`
+  /// caps the run (done() also flips then, with output 0 = failure).
+  HearFromNProcess(int k, sim::Round max_rounds, std::uint64_t exp_seed,
+                   sim::NodeId n_total, double epsilon);
+
+  void onDeliver(sim::Round round, bool sent,
+                 std::span<const sim::Message> received) override;
+  bool done() const override { return claimed_ || timed_out_; }
+  /// 1 iff the node claimed hear-from-all; round of the claim via
+  /// claimRound().
+  std::uint64_t output() const override { return claimed_ ? 1 : 0; }
+
+  sim::Round claimRound() const { return claim_round_; }
+
+ private:
+  sim::NodeId n_total_;
+  double epsilon_;
+  sim::Round max_rounds_;
+  bool claimed_ = false;
+  bool timed_out_ = false;
+  sim::Round claim_round_ = -1;
+};
+
+class HearFromNFactory : public sim::ProcessFactory {
+ public:
+  HearFromNFactory(int k, sim::Round max_rounds, std::uint64_t master_seed,
+                   double epsilon);
+
+  std::unique_ptr<sim::Process> create(sim::NodeId node,
+                                       sim::NodeId num_nodes) const override;
+
+ private:
+  int k_;
+  sim::Round max_rounds_;
+  std::uint64_t master_seed_;
+  double epsilon_;
+};
+
+}  // namespace dynet::proto

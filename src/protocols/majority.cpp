@@ -1,0 +1,68 @@
+#include "protocols/majority.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dynet::proto {
+
+MinVector::MinVector(int k) {
+  DYNET_CHECK(k >= 1 && k <= 1024) << "k=" << k;
+  mins_.assign(static_cast<std::size_t>(k),
+               std::numeric_limits<double>::infinity());
+}
+
+void MinVector::clear() {
+  std::fill(mins_.begin(), mins_.end(),
+            std::numeric_limits<double>::infinity());
+}
+
+void MinVector::contribute(util::Rng& rng) {
+  for (double& m : mins_) {
+    m = std::min(m, rng.exponential());
+  }
+}
+
+void MinVector::merge(int coord, double value) {
+  DYNET_CHECK(coord >= 0 && coord < k()) << "coord=" << coord;
+  DYNET_CHECK(value >= 0.0) << "value=" << value;
+  double& m = mins_[static_cast<std::size_t>(coord)];
+  m = std::min(m, value);
+}
+
+double MinVector::estimate() const {
+  double sum = 0.0;
+  for (const double m : mins_) {
+    if (std::isinf(m)) {
+      return 0.0;
+    }
+    sum += m;
+  }
+  if (sum <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(k() - 1) / sum;
+}
+
+int coordCountFor(double c) {
+  DYNET_CHECK(c > 0.0 && c <= 1.0 / 3.0) << "c=" << c;
+  // Relative error of (k-1)/ΣE_i is ≈ z/√k at confidence z; aim for ~3σ
+  // inside c: k = (3/c)^2.
+  const int k = static_cast<int>(std::ceil(9.0 / (c * c)));
+  return std::clamp(k, 16, 1024);
+}
+
+double majorityThreshold(double n_estimate, double c) {
+  DYNET_CHECK(n_estimate > 0.0) << "n_estimate=" << n_estimate;
+  DYNET_CHECK(c > 0.0 && c <= 1.0 / 3.0) << "c=" << c;
+  const double eps = c;
+  return (1.0 + eps) * n_estimate / (2.0 * (2.0 / 3.0 + c));
+}
+
+bool validEstimate(double n_estimate, double true_n, double c) {
+  return std::abs(n_estimate - true_n) / true_n <= 1.0 / 3.0 - c;
+}
+
+}  // namespace dynet::proto

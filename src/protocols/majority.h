@@ -1,0 +1,64 @@
+// Exponential-minima cardinality estimation and majority thresholds.
+//
+// The majority-counting subroutine of the paper's §7 protocol uses
+// well-known separable-function techniques (Mosk-Aoyama & Shah [18]): each
+// participating node draws k i.i.d. Exponential(1) variates; the
+// coordinate-wise minimum over m participants has coordinates
+// ~ Exponential(m), so  m̂ = (k-1) / Σ_j min_j  estimates m with relative
+// error O(1/√k) whp.  Minima only ever shrink toward the truth, so partial
+// dissemination can only *under*-estimate — the one-sided error the paper's
+// protocol relies on ("conservative in claiming a majority").
+//
+// Majority threshold: with N' promising |N'-N|/N <= 1/3 - c we have
+//   N ∈ [ N'/(4/3 - c), N'/(2/3 + c) ].
+// Declaring a majority when  m̂ ≥ τ(N', c)  with
+//   τ = (1+ε) · N' / (2(2/3 + c))  and  ε = c
+// is (whp) sound:  m ≥ m̂/(1+ε) ≥ N'/ (2(2/3+c)(1)) ≥ N/2, and complete when
+// all N nodes participate and the estimate is within (1±ε):
+//   m̂ ≥ (1-ε)N ≥ (1-ε)N'/(4/3-c) ≥ τ  ⇔  3c ≥ ε(8/3 + c), satisfied by ε=c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dynet::proto {
+
+/// Coordinate-wise minimum vector with quantized merge.
+class MinVector {
+ public:
+  explicit MinVector(int k);
+
+  int k() const { return static_cast<int>(mins_.size()); }
+
+  /// Resets all coordinates to +infinity.
+  void clear();
+
+  /// Draws k fresh exponentials from rng and merges them (a node
+  /// contributing itself as a participant).
+  void contribute(util::Rng& rng);
+
+  /// Merges one received coordinate (already decoded).
+  void merge(int coord, double value);
+
+  double coordinate(int coord) const { return mins_[static_cast<std::size_t>(coord)]; }
+
+  /// (k-1) / Σ mins; 0 if any coordinate is still infinite.
+  double estimate() const;
+
+ private:
+  std::vector<double> mins_;
+};
+
+/// Number of coordinates achieving relative error ≈ c whp; clamped to
+/// [16, 1024] to keep message coordinate indices in 10 bits.
+int coordCountFor(double c);
+
+/// The majority-claim threshold τ(N', c) derived above.
+double majorityThreshold(double n_estimate, double c);
+
+/// Validity window for N' given true N: |N'-N|/N <= 1/3 - c.
+bool validEstimate(double n_estimate, double true_n, double c);
+
+}  // namespace dynet::proto

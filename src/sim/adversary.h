@@ -1,0 +1,32 @@
+// Adversary interface: fixes each round's topology.
+//
+// Per the model, the adversary acts *after* this round's coins are flipped;
+// since actions are a deterministic function of state and coins, the engine
+// passes the already-decided actions to the adversary.  Oblivious
+// adversaries simply ignore them.
+#pragma once
+
+#include <span>
+
+#include "net/graph.h"
+#include "sim/process.h"
+
+namespace dynet::sim {
+
+struct RoundObservation {
+  /// Actions every node decided for the current round.
+  std::span<const Action> actions;
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Topology of `round` (1-based).  Must contain exactly numNodes() nodes
+  /// and, per the model, be connected (the engine checks).
+  virtual net::GraphPtr topology(Round round, const RoundObservation& obs) = 0;
+
+  virtual NodeId numNodes() const = 0;
+};
+
+}  // namespace dynet::sim

@@ -1,0 +1,132 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dynet::sim {
+
+int defaultBudgetBits(NodeId num_nodes) {
+  DYNET_CHECK(num_nodes >= 1) << "num_nodes=" << num_nodes;
+  return 64 + 8 * util::bitWidthFor(static_cast<std::uint64_t>(num_nodes));
+}
+
+Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
+               std::unique_ptr<Adversary> adversary, EngineConfig config,
+               std::uint64_t seed)
+    : processes_(std::move(processes)),
+      adversary_(std::move(adversary)),
+      config_(config),
+      seed_(seed) {
+  DYNET_CHECK(!processes_.empty()) << "no processes";
+  DYNET_CHECK(adversary_ != nullptr) << "no adversary";
+  DYNET_CHECK(adversary_->numNodes() == static_cast<NodeId>(processes_.size()))
+      << "adversary nodes " << adversary_->numNodes() << " != processes "
+      << processes_.size();
+  budget_bits_ = config_.msg_budget_bits > 0
+                     ? config_.msg_budget_bits
+                     : defaultBudgetBits(static_cast<NodeId>(processes_.size()));
+  DYNET_CHECK(budget_bits_ <= Message::kCapacityBits)
+      << "budget " << budget_bits_ << " exceeds message capacity";
+  result_.done_round.assign(processes_.size(), -1);
+  result_.bits_per_node.assign(processes_.size(), 0);
+}
+
+bool Engine::allDone() const {
+  return std::all_of(processes_.begin(), processes_.end(),
+                     [](const auto& p) { return p->done(); });
+}
+
+bool Engine::step() {
+  if (round_ >= config_.max_rounds) {
+    return false;
+  }
+  ++round_;
+  const auto n = static_cast<NodeId>(processes_.size());
+
+  // 1-2. Coins flip, each node decides its action.
+  current_actions_.resize(processes_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    util::CoinStream coins(seed_, static_cast<std::uint64_t>(v),
+                           static_cast<std::uint64_t>(round_));
+    current_actions_[static_cast<std::size_t>(v)] =
+        processes_[static_cast<std::size_t>(v)]->onRound(round_, coins);
+    const Action& a = current_actions_[static_cast<std::size_t>(v)];
+    if (a.send) {
+      DYNET_CHECK(a.msg.bitSize() <= budget_bits_)
+          << "node " << v << " round " << round_ << " message of "
+          << a.msg.bitSize() << " bits exceeds budget " << budget_bits_;
+      ++result_.messages_sent;
+      result_.bits_sent += static_cast<std::uint64_t>(a.msg.bitSize());
+      result_.bits_per_node[static_cast<std::size_t>(v)] +=
+          static_cast<std::uint64_t>(a.msg.bitSize());
+    }
+  }
+
+  // 3. Adversary fixes the topology after observing the actions.
+  RoundObservation obs{current_actions_};
+  net::GraphPtr g = adversary_->topology(round_, obs);
+  DYNET_CHECK(g != nullptr) << "adversary returned null topology";
+  DYNET_CHECK(g->numNodes() == n) << "topology node count mismatch";
+  if (config_.check_connectivity) {
+    DYNET_CHECK(g->connected())
+        << "round " << round_ << " topology disconnected ("
+        << g->componentCount() << " components)";
+  }
+  if (config_.record_topologies) {
+    topologies_.push_back(g);
+  }
+  if (config_.record_actions) {
+    actions_.push_back(current_actions_);
+  }
+
+  // 4. Delivery: every receiving node gets the messages of its sending
+  // neighbors.
+  for (NodeId v = 0; v < n; ++v) {
+    const Action& a = current_actions_[static_cast<std::size_t>(v)];
+    if (a.send) {
+      processes_[static_cast<std::size_t>(v)]->onDeliver(round_, true, {});
+      continue;
+    }
+    // Deliver in ascending sender-id order: the model gives messages no
+    // arrival order, so the engine defines a canonical one that any
+    // simulating party can reproduce.
+    inbox_senders_.clear();
+    for (NodeId u : g->neighbors(v)) {
+      if (current_actions_[static_cast<std::size_t>(u)].send) {
+        inbox_senders_.push_back(u);
+      }
+    }
+    std::sort(inbox_senders_.begin(), inbox_senders_.end());
+    inbox_.clear();
+    for (NodeId u : inbox_senders_) {
+      inbox_.push_back(current_actions_[static_cast<std::size_t>(u)].msg);
+    }
+    processes_[static_cast<std::size_t>(v)]->onDeliver(round_, false, inbox_);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (result_.done_round[static_cast<std::size_t>(v)] < 0 &&
+        processes_[static_cast<std::size_t>(v)]->done()) {
+      result_.done_round[static_cast<std::size_t>(v)] = round_;
+    }
+  }
+  result_.rounds_executed = round_;
+  if (!result_.all_done && allDone()) {
+    result_.all_done = true;
+    result_.all_done_round = round_;
+  }
+  return true;
+}
+
+RunResult Engine::run() {
+  while (round_ < config_.max_rounds) {
+    if (config_.stop_when_all_done && result_.all_done) {
+      break;
+    }
+    step();
+  }
+  return result_;
+}
+
+}  // namespace dynet::sim

@@ -1,0 +1,93 @@
+// The synchronous round engine.
+//
+// Executes Processes against an Adversary under the CONGEST constraints:
+// send-xor-receive, per-message bit budget, connected per-round topology.
+// Optionally records full traces (topologies, actions, deliveries derived
+// on demand) for diameter computation and reduction cross-validation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/diameter.h"
+#include "net/graph.h"
+#include "sim/adversary.h"
+#include "sim/process.h"
+
+namespace dynet::sim {
+
+/// Message budget used throughout: a fixed constant multiple of log N.
+int defaultBudgetBits(NodeId num_nodes);
+
+struct EngineConfig {
+  Round max_rounds = 1 << 20;
+  /// 0 derives defaultBudgetBits(N).
+  int msg_budget_bits = 0;
+  bool check_connectivity = true;
+  bool record_topologies = false;
+  bool record_actions = false;
+  /// Stop as soon as every process reports done().
+  bool stop_when_all_done = true;
+};
+
+struct RunResult {
+  Round rounds_executed = 0;
+  bool all_done = false;
+  /// First round at whose end every node was done; -1 if never.
+  Round all_done_round = -1;
+  /// Per node: first round at whose end it was done; -1 if never.
+  std::vector<Round> done_round;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bits_sent = 0;
+  /// Per node: total payload bits sent (load/fairness analysis).
+  std::vector<std::uint64_t> bits_per_node;
+};
+
+class Engine {
+ public:
+  /// `seed` feeds the per-(node, round) coin streams.
+  Engine(std::vector<std::unique_ptr<Process>> processes,
+         std::unique_ptr<Adversary> adversary, EngineConfig config,
+         std::uint64_t seed);
+
+  /// Runs rounds until max_rounds or all done.
+  RunResult run();
+
+  /// Executes exactly one round; returns false if max_rounds reached.
+  bool step();
+
+  Round currentRound() const { return round_; }
+  NodeId numNodes() const { return static_cast<NodeId>(processes_.size()); }
+  const Process& process(NodeId v) const { return *processes_[static_cast<std::size_t>(v)]; }
+  bool allDone() const;
+
+  /// Recorded per-round topologies (config.record_topologies); index i holds
+  /// round i+1, matching net::TopologySeq conventions.
+  const net::TopologySeq& topologies() const { return topologies_; }
+
+  /// Recorded actions (config.record_actions); [round-1][node].
+  const std::vector<std::vector<Action>>& actionTrace() const { return actions_; }
+
+  const RunResult& result() const { return result_; }
+  int budgetBits() const { return budget_bits_; }
+
+ private:
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::unique_ptr<Adversary> adversary_;
+  EngineConfig config_;
+  std::uint64_t seed_;
+  int budget_bits_;
+  Round round_ = 0;
+
+  net::TopologySeq topologies_;
+  std::vector<std::vector<Action>> actions_;
+  RunResult result_;
+
+  // Scratch reused across rounds.
+  std::vector<Action> current_actions_;
+  std::vector<Message> inbox_;
+  std::vector<NodeId> inbox_senders_;
+};
+
+}  // namespace dynet::sim

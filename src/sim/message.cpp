@@ -1,0 +1,15 @@
+#include "sim/message.h"
+
+#include "util/rng.h"
+
+namespace dynet::sim {
+
+std::uint64_t Message::digest() const {
+  std::uint64_t h = util::mix64(static_cast<std::uint64_t>(bits_) ^ 0x8f1bbcdc2d3a9f42ULL);
+  for (int w = 0; w < kCapacityWords; ++w) {
+    h = util::hashCombine(h, words_[static_cast<std::size_t>(w)]);
+  }
+  return h;
+}
+
+}  // namespace dynet::sim

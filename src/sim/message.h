@@ -1,0 +1,81 @@
+// CONGEST message: a bit-bounded payload.
+//
+// The engine enforces `bit_size() <= budget` on every sent message, where
+// the budget is Θ(log N).  Payloads are packed with util::BitWriter via
+// MessageBuilder and read with MessageReader.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bitio.h"
+
+namespace dynet::sim {
+
+class Message {
+ public:
+  /// Hard structural cap; the per-run budget is usually much smaller.
+  static constexpr int kCapacityBits = 256;
+  static constexpr int kCapacityWords = kCapacityBits / 64;
+
+  Message() = default;
+
+  int bitSize() const { return bits_; }
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  friend bool operator==(const Message& x, const Message& y) {
+    if (x.bits_ != y.bits_) {
+      return false;
+    }
+    for (int w = 0; w < kCapacityWords; ++w) {
+      if (x.words_[static_cast<std::size_t>(w)] != y.words_[static_cast<std::size_t>(w)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Order-insensitive digest for trace comparison.
+  std::uint64_t digest() const;
+
+ private:
+  friend class MessageBuilder;
+  std::array<std::uint64_t, kCapacityWords> words_{};
+  int bits_ = 0;
+};
+
+/// Append-only builder; produces a Message.
+class MessageBuilder {
+ public:
+  MessageBuilder() : writer_(msg_.words_, Message::kCapacityBits) {}
+
+  MessageBuilder& put(std::uint64_t value, int width) {
+    writer_.put(value, width);
+    return *this;
+  }
+
+  Message build() {
+    msg_.bits_ = writer_.bitsWritten();
+    return msg_;
+  }
+
+ private:
+  Message msg_;
+  util::BitWriter writer_;
+};
+
+/// Sequential field reader over a received Message.
+class MessageReader {
+ public:
+  explicit MessageReader(const Message& msg)
+      : reader_(msg.words(), msg.bitSize()) {}
+
+  std::uint64_t get(int width) { return reader_.get(width); }
+  int bitsRemaining() const { return reader_.bitsRemaining(); }
+
+ private:
+  util::BitReader reader_;
+};
+
+}  // namespace dynet::sim

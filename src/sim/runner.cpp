@@ -1,0 +1,28 @@
+#include "sim/runner.h"
+
+#include <mutex>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dynet::sim {
+
+TrialSummary runTrials(int trials, std::uint64_t base_seed, const TrialFn& body) {
+  DYNET_CHECK(trials >= 1) << "trials=" << trials;
+  std::vector<std::map<std::string, double>> results(
+      static_cast<std::size_t>(trials));
+  util::ThreadPool::shared().parallelFor(
+      static_cast<std::size_t>(trials), [&](std::size_t i) {
+        results[i] = body(util::hashCombine(base_seed, i));
+      });
+  TrialSummary summary;
+  for (const auto& metrics : results) {
+    for (const auto& [name, value] : metrics) {
+      summary.metrics[name].add(value);
+    }
+  }
+  return summary;
+}
+
+}  // namespace dynet::sim

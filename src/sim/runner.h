@@ -1,0 +1,30 @@
+// Parallel Monte Carlo trial runner.
+//
+// Runs `trials` independent executions (distinct seeds) of a user-supplied
+// experiment and aggregates per-trial scalar metrics.  Used by benches to
+// average over coin flips, matching the paper's average-coin-flip
+// complexity definition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace dynet::sim {
+
+/// One trial returns named scalar metrics (e.g. {"rounds", 120}).
+using TrialFn = std::function<std::map<std::string, double>(std::uint64_t seed)>;
+
+struct TrialSummary {
+  std::map<std::string, util::Summary> metrics;
+};
+
+/// Runs body(seed_i) for trials distinct seeds derived from base_seed, in
+/// parallel, and merges the returned metric maps.
+TrialSummary runTrials(int trials, std::uint64_t base_seed, const TrialFn& body);
+
+}  // namespace dynet::sim

@@ -1,0 +1,150 @@
+#include "sim/trace.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/engine.h"
+#include "util/check.h"
+
+namespace dynet::sim {
+
+void writeTrace(std::ostream& out, const Trace& trace) {
+  DYNET_CHECK(trace.num_nodes >= 1) << "empty trace";
+  DYNET_CHECK(trace.actions.empty() ||
+              trace.actions.size() == trace.topologies.size())
+      << "actions/topologies length mismatch";
+  out << "dynet-trace v1\n";
+  out << "n " << trace.num_nodes << "\n";
+  for (std::size_t r = 0; r < trace.topologies.size(); ++r) {
+    out << "r " << (r + 1) << "\n";
+    for (const net::Edge& e : trace.topologies[r]->edges()) {
+      out << "e " << e.a << " " << e.b << "\n";
+    }
+    if (!trace.actions.empty()) {
+      const auto& round_actions = trace.actions[r];
+      DYNET_CHECK(static_cast<NodeId>(round_actions.size()) == trace.num_nodes)
+          << "round " << r + 1 << " action count";
+      for (NodeId v = 0; v < trace.num_nodes; ++v) {
+        const Action& a = round_actions[static_cast<std::size_t>(v)];
+        if (a.send) {
+          out << "s " << v << " " << a.msg.bitSize() << " " << std::hex;
+          const int words = (a.msg.bitSize() + 63) / 64;
+          for (int w = 0; w < std::max(words, 1); ++w) {
+            out << (w > 0 ? "," : "")
+                << a.msg.words()[static_cast<std::size_t>(w)];
+          }
+          out << std::dec << "\n";
+        } else {
+          out << "q " << v << "\n";
+        }
+      }
+    }
+  }
+}
+
+Trace readTrace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  DYNET_CHECK(std::getline(in, line) && line == "dynet-trace v1")
+      << "bad header: " << line;
+  std::vector<net::Edge> edges;
+  std::vector<Action> actions;
+  bool in_round = false;
+  bool have_actions = false;
+
+  auto flushRound = [&] {
+    if (!in_round) {
+      return;
+    }
+    trace.topologies.push_back(
+        std::make_shared<net::Graph>(trace.num_nodes, edges));
+    edges.clear();
+    if (have_actions) {
+      DYNET_CHECK(static_cast<NodeId>(actions.size()) == trace.num_nodes)
+          << "round " << trace.topologies.size() << " has " << actions.size()
+          << " actions";
+      trace.actions.push_back(actions);
+    }
+    actions.assign(static_cast<std::size_t>(trace.num_nodes), Action{});
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "n") {
+      ls >> trace.num_nodes;
+      DYNET_CHECK(trace.num_nodes >= 1) << "bad node count";
+      actions.assign(static_cast<std::size_t>(trace.num_nodes), Action{});
+    } else if (tag == "r") {
+      Round r = 0;
+      ls >> r;
+      flushRound();
+      DYNET_CHECK(r == static_cast<Round>(trace.topologies.size()) + 1)
+          << "non-contiguous round " << r;
+      in_round = true;
+    } else if (tag == "e") {
+      NodeId a = -1;
+      NodeId b = -1;
+      ls >> a >> b;
+      edges.push_back({a, b});
+    } else if (tag == "s") {
+      have_actions = true;
+      NodeId v = -1;
+      int bits = 0;
+      std::string payload;
+      ls >> v >> bits >> payload;
+      DYNET_CHECK(v >= 0 && v < trace.num_nodes) << "bad sender " << v;
+      MessageBuilder builder;
+      std::istringstream ps(payload);
+      std::string word;
+      int remaining = bits;
+      while (std::getline(ps, word, ',')) {
+        const std::uint64_t value = std::stoull(word, nullptr, 16);
+        const int take = std::min(remaining, 64);
+        if (take > 0) {
+          builder.put(take < 64 ? (value & ((take == 64)
+                                                ? ~std::uint64_t{0}
+                                                : ((std::uint64_t{1} << take) - 1)))
+                                : value,
+                      take);
+        }
+        remaining -= take;
+      }
+      DYNET_CHECK(remaining == 0) << "payload shorter than declared bits";
+      Action action;
+      action.send = true;
+      action.msg = builder.build();
+      actions[static_cast<std::size_t>(v)] = action;
+    } else if (tag == "q") {
+      have_actions = true;
+      NodeId v = -1;
+      ls >> v;
+      DYNET_CHECK(v >= 0 && v < trace.num_nodes) << "bad receiver " << v;
+      actions[static_cast<std::size_t>(v)] = Action{};
+    } else {
+      DYNET_CHECK(false) << "unknown trace tag '" << tag << "'";
+    }
+  }
+  flushRound();
+  DYNET_CHECK(!trace.topologies.empty()) << "trace has no rounds";
+  return trace;
+}
+
+Trace traceFromEngine(const Engine& engine) {
+  Trace trace;
+  trace.num_nodes = engine.numNodes();
+  trace.topologies = engine.topologies();
+  trace.actions = engine.actionTrace();
+  DYNET_CHECK(!trace.topologies.empty())
+      << "engine was not run with record_topologies";
+  return trace;
+}
+
+}  // namespace dynet::sim

@@ -1,0 +1,37 @@
+#include "util/bitio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynet::util {
+
+namespace {
+// log2(x) is mapped affinely from [-64, 63] to the 16-bit code space with
+// 8 fractional bits kept implicitly by the scaling below.  Code 0 is
+// reserved for exact zero.
+constexpr double kLogMin = -64.0;
+constexpr double kLogMax = 63.0;
+constexpr double kScale = 65534.0 / (kLogMax - kLogMin);
+}  // namespace
+
+std::uint16_t encodeReal16(double x) {
+  DYNET_CHECK(x >= 0.0 && std::isfinite(x)) << "encodeReal16 domain: " << x;
+  if (x == 0.0) {
+    return 0;
+  }
+  double l = std::log2(x);
+  l = std::clamp(l, kLogMin, kLogMax);
+  const auto code = static_cast<std::uint16_t>(
+      1 + std::llround((l - kLogMin) * kScale));
+  return code;
+}
+
+double decodeReal16(std::uint16_t code) {
+  if (code == 0) {
+    return 0.0;
+  }
+  const double l = kLogMin + static_cast<double>(code - 1) / kScale;
+  return std::exp2(l);
+}
+
+}  // namespace dynet::util

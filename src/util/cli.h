@@ -1,0 +1,32 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supports --name=value and --name value; unknown flags are an error so that
+// typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynet::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string str(const std::string& name, const std::string& def) const;
+  std::int64_t integer(const std::string& name, std::int64_t def) const;
+  double real(const std::string& name, double def) const;
+  bool flag(const std::string& name, bool def = false) const;
+
+  /// Call after all lookups: aborts on flags that were never queried.
+  void rejectUnknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace dynet::util

@@ -1,0 +1,5 @@
+#include "util/rng.h"
+
+// Header-only implementation; this translation unit exists so the library
+// has a stable home for future out-of-line additions.
+namespace dynet::util {}

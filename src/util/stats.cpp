@@ -1,0 +1,63 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dynet::util {
+
+double Summary::mean() const {
+  DYNET_CHECK(!samples_.empty()) << "mean of empty summary";
+  double sum = 0.0;
+  for (double x : samples_) {
+    sum += x;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  DYNET_CHECK(!samples_.empty()) << "min of empty summary";
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  DYNET_CHECK(!samples_.empty()) << "max of empty summary";
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+const std::vector<double>& Summary::sorted() const {
+  if (!sorted_) {
+    sorted_samples_ = samples_;
+    std::sort(sorted_samples_.begin(), sorted_samples_.end());
+    sorted_ = true;
+  }
+  return sorted_samples_;
+}
+
+double Summary::percentile(double p) const {
+  DYNET_CHECK(!samples_.empty()) << "percentile of empty summary";
+  DYNET_CHECK(p >= 0.0 && p <= 1.0) << "p=" << p;
+  const auto& s = sorted();
+  if (s.size() == 1) {
+    return s[0];
+  }
+  const double idx = p * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+}  // namespace dynet::util

@@ -1,0 +1,37 @@
+// Streaming statistics for experiment summaries.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace dynet::util {
+
+/// Accumulates samples; supports mean/stddev/min/max/percentiles.
+/// Percentile queries sort an internal copy on demand.
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// p in [0, 1]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  double median() const { return percentile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+
+  const std::vector<double>& sorted() const;
+};
+
+}  // namespace dynet::util

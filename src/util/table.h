@@ -1,0 +1,38 @@
+// ASCII table rendering for benchmark harness output.
+//
+// Benches print the rows/series the paper's theorems describe; a fixed-width
+// table keeps them diff-friendly for EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dynet::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  /// Fixed-point rendering with `digits` decimals.
+  Table& cell(double value, int digits = 2);
+
+  /// Renders the full table with a header rule.
+  void print(std::ostream& out) const;
+  std::string toString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dynet::util

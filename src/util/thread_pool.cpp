@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dynet::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::runShare(Batch& batch) {
+  while (true) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) {
+      break;
+    }
+    try {
+      batch.body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.mu);
+      if (!batch.error) {
+        batch.error = std::current_exception();
+      }
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
+      std::lock_guard<std::mutex> lock(batch.mu);
+      batch.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) {
+        return;
+      }
+      batch = queue_.front();
+      queue_.pop_front();
+    }
+    runShare(*batch);
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->body = body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Enqueue once per worker so all of them can join this batch; workers
+    // arriving after completion see next >= n and drop their reference.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      queue_.push_back(batch);
+    }
+  }
+  cv_.notify_all();
+  // The calling thread participates too.
+  runShare(*batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&batch] {
+      return batch->done.load(std::memory_order_acquire) == batch->n;
+    });
+  }
+  if (batch->error) {
+    std::rethrow_exception(batch->error);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace dynet::util

@@ -1,0 +1,62 @@
+// Minimal work-sharing thread pool for parallel Monte Carlo trials and
+// all-sources diameter computation.
+//
+// parallelFor partitions [0, n) into dynamically claimed indices; exceptions
+// from tasks are captured and rethrown on the caller thread.  Batches are
+// shared-owned so that workers holding stale queue entries can never touch
+// freed memory.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynet::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs body(i) for each i in [0, n), in parallel, blocking until done.
+  /// Rethrows the first captured exception.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide default pool.
+  static ThreadPool& shared();
+
+ private:
+  struct Batch {
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::function<void(std::size_t)> body;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+
+  void workerLoop();
+  static void runShare(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace dynet::util

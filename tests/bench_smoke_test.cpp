@@ -1,0 +1,53 @@
+// Smoke tests for the benchmark harness binaries: every bench must run to
+// completion (exit 0) in its quick configuration.  This keeps the
+// experiment suite itself under CI discipline — a bench that crashes or
+// trips an internal [FAIL] check fails here, not at paper-reproduction
+// time.
+//
+// The bench directory is injected by CMake as DYNET_BENCH_DIR.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+std::string benchPath(const std::string& name) {
+  return std::string(DYNET_BENCH_DIR) + "/" + name;
+}
+
+int runQuiet(const std::string& command) {
+  return std::system((command + " > /dev/null 2>&1").c_str());
+}
+
+class BenchSmoke : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchSmoke, RunsCleanInQuickMode) {
+  const std::string binary = benchPath(GetParam());
+  if (!std::filesystem::exists(binary)) {
+    GTEST_SKIP() << binary << " not built";
+  }
+  // Benches without a --quick flag reject it; fall back to the plain run
+  // only for those (Cli::rejectUnknown exits non-zero fast, so this stays
+  // cheap).
+  int rc = runQuiet(binary + " --quick");
+  if (rc != 0) {
+    rc = runQuiet(binary);
+  }
+  EXPECT_EQ(rc, 0) << binary;
+}
+
+// bench_sim_perf (google-benchmark) and the heavier sweeps are exercised
+// by the top-level bench run; here we cover the fast table generators.
+INSTANTIATE_TEST_SUITE_P(Quick, BenchSmoke,
+                         ::testing::Values("bench_fig1_gamma",
+                                           "bench_fig2_fig3_lambda",
+                                           "bench_cflood_lower",
+                                           "bench_consensus_lower",
+                                           "bench_disjcp",
+                                           "bench_ablation_cascade",
+                                           "bench_dual_graph",
+                                           "bench_churn"));
+
+}  // namespace

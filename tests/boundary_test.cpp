@@ -1,0 +1,177 @@
+// Boundary and negative-path tests: what happens at the edges of the
+// guarantees (invalid N' promises, exhausted budgets, offsets, singletons,
+// convergence-to-identical-state properties).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/dynamic_adversaries.h"
+#include "adversary/static_adversaries.h"
+#include "lowerbound/gamma.h"
+#include "protocols/counting.h"
+#include "protocols/leader_unknown_d.h"
+#include "protocols/majority.h"
+#include "sim/engine.h"
+
+namespace dynet {
+namespace {
+
+using sim::NodeId;
+using sim::Round;
+
+TEST(BitWidth, DegenerateInputs) {
+  EXPECT_EQ(util::bitWidthFor(0), 1);
+  EXPECT_EQ(util::bitWidthFor(1), 1);
+  // Never exceeds 63 even for huge inputs.
+  EXPECT_LE(util::bitWidthFor(~std::uint64_t{0}), 63);
+}
+
+TEST(MajorityPromise, InvalidEstimateStallsElection) {
+  // N' = 3N grossly violates the promise: the majority threshold exceeds N,
+  // so no candidate can ever claim a majority and no leader is declared —
+  // the protocol fails SAFE (stalls) rather than electing wrongly.
+  const NodeId n = 24;
+  proto::LeaderConfig config;
+  config.n_estimate = 3.0 * n;
+  config.c = 0.25;
+  config.k = 64;
+  proto::LeaderElectFactory factory(config, 9);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig engine_config;
+  engine_config.max_rounds = 60'000;  // several phases' worth
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::RandomTreeAdversary>(n, 9),
+                     engine_config, 9);
+  const auto result = engine.run();
+  EXPECT_FALSE(result.all_done);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto* lp =
+        dynamic_cast<const proto::LeaderElectProcess*>(&engine.process(v));
+    ASSERT_NE(lp, nullptr);
+    EXPECT_EQ(lp->leaderKey(), 0u) << v;
+  }
+}
+
+TEST(MajorityPromise, ThresholdExceedsNForGrossOverestimates) {
+  // The safety above in one line: τ(3N, c) > N.
+  const double n = 100;
+  EXPECT_GT(proto::majorityThreshold(3 * n, 0.25), n);
+  EXPECT_FALSE(proto::validEstimate(3 * n, n, 0.25));
+}
+
+TEST(Counting, AllNodesConvergeToNearIdenticalEstimates) {
+  // After enough rounds every node's min-vector equals the global minima up
+  // to the 16-bit wire quantization (a node keeps its own contributions at
+  // full precision; everyone else holds the quantized copy), so estimates
+  // agree within the quantizer's ~0.4% relative error.
+  const NodeId n = 32;
+  const int k = 64;
+  const Round rounds = proto::countingRounds(k, 8, n, 4);
+  proto::CountingFactory factory(k, rounds, 3);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = rounds + 1;
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::RandomTreeAdversary>(n, 3), config,
+                     3);
+  engine.run();
+  const auto* first =
+      dynamic_cast<const proto::CountingProcess*>(&engine.process(0));
+  ASSERT_NE(first, nullptr);
+  for (NodeId v = 1; v < n; ++v) {
+    const auto* p =
+        dynamic_cast<const proto::CountingProcess*>(&engine.process(v));
+    ASSERT_NE(p, nullptr);
+    EXPECT_NEAR(p->estimate(), first->estimate(), 0.01 * first->estimate())
+        << v;
+  }
+  EXPECT_NEAR(first->estimate(), n, 0.3 * n);
+}
+
+TEST(GammaNet, OffsetShiftsAllIds) {
+  util::Rng rng(2);
+  const cc::Instance inst = cc::randomInstance(2, 5, rng);
+  const lb::GammaNet at0(inst, 0);
+  const lb::GammaNet at100(inst, 100);
+  EXPECT_EQ(at100.a(), 100);
+  EXPECT_EQ(at100.b(), 101);
+  EXPECT_EQ(at100.top(1, 1) - at0.top(1, 1), 100);
+  EXPECT_EQ(at100.numNodes(), at0.numNodes());
+  // Edges generated at the offset stay within [offset, offset+numNodes).
+  std::vector<net::Edge> edges;
+  at100.appendPartyEdges(lb::Party::kAlice, 1, edges);
+  for (const auto& e : edges) {
+    EXPECT_GE(e.a, 100);
+    EXPECT_LT(e.a, 100 + at100.numNodes());
+    EXPECT_GE(e.b, 100);
+    EXPECT_LT(e.b, 100 + at100.numNodes());
+  }
+}
+
+TEST(Engine, MaxRoundsExhaustionReported) {
+  // A protocol that never finishes: run() stops at max_rounds with
+  // all_done = false and rounds_executed = max_rounds.
+  proto::LeaderConfig config;
+  config.n_estimate = 8;
+  config.c = 0.25;
+  config.k = 16;
+  proto::LeaderElectFactory factory(config, 1);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < 8; ++v) {
+    ps.push_back(factory.create(v, 8));
+  }
+  sim::EngineConfig engine_config;
+  engine_config.max_rounds = 5;  // far too few
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::StaticAdversary>(net::makeRing(8)),
+                     engine_config, 1);
+  const auto result = engine.run();
+  EXPECT_FALSE(result.all_done);
+  EXPECT_EQ(result.rounds_executed, 5);
+  EXPECT_FALSE(engine.step());  // exhausted: step refuses
+}
+
+TEST(MessageCapacity, FullWidthMessageRoundTrips) {
+  sim::MessageBuilder builder;
+  for (int w = 0; w < 4; ++w) {
+    builder.put(0xa5a5a5a5a5a5a5a5ULL, 64);
+  }
+  const sim::Message msg = builder.build();
+  EXPECT_EQ(msg.bitSize(), 256);
+  sim::MessageReader reader(msg);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(reader.get(64), 0xa5a5a5a5a5a5a5a5ULL);
+  }
+  // One more bit overflows the structural capacity.
+  sim::MessageBuilder overfull;
+  for (int w = 0; w < 4; ++w) {
+    overfull.put(0, 64);
+  }
+  EXPECT_THROW(overfull.put(1, 1), util::CheckError);
+}
+
+TEST(CoinStream, BelowIsInRangeAtBoundaries) {
+  util::CoinStream coins(1, 2, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(coins.below(1), 0u);
+  }
+  util::CoinStream coins2(1, 2, 4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(coins2.below(7), 7u);
+  }
+}
+
+TEST(Graph, ComponentCountsAndIsolation) {
+  net::Graph g(6, {{0, 1}, {2, 3}});
+  EXPECT_EQ(g.componentCount(), 4);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_TRUE(g.neighbors(4).empty());
+}
+
+}  // namespace
+}  // namespace dynet

@@ -1,0 +1,140 @@
+// DISJOINTNESSCP: cycle promise, evaluation, generators, trivial
+// protocols, channel accounting.
+#include <gtest/gtest.h>
+
+#include "cc/channel.h"
+#include "cc/disjointness_cp.h"
+#include "cc/trivial_protocols.h"
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace dynet::cc {
+namespace {
+
+TEST(CyclePromise, AcceptsFeasiblePairs) {
+  Instance inst;
+  inst.n = 4;
+  inst.q = 5;
+  inst.x = {0, 4, 2, 3};
+  inst.y = {0, 4, 3, 2};
+  EXPECT_TRUE(cyclePromiseHolds(inst));
+}
+
+TEST(CyclePromise, RejectsViolations) {
+  Instance inst;
+  inst.n = 2;
+  inst.q = 5;
+  inst.x = {1, 2};
+  inst.y = {1, 3};  // (1,1) not allowed: equal but not 0/q-1
+  EXPECT_FALSE(cyclePromiseHolds(inst));
+  inst.y = {0, 3};
+  EXPECT_TRUE(cyclePromiseHolds(inst));
+  inst.y = {0, 5};  // out of range
+  EXPECT_FALSE(cyclePromiseHolds(inst));
+  inst.q = 4;  // even q
+  inst.y = {0, 3};
+  EXPECT_FALSE(cyclePromiseHolds(inst));
+}
+
+TEST(Evaluate, ZeroIffZeroZeroPair) {
+  Instance inst;
+  inst.n = 3;
+  inst.q = 5;
+  inst.x = {1, 4, 3};
+  inst.y = {2, 4, 2};
+  EXPECT_EQ(evaluate(inst), 1);
+  inst.x[1] = 0;
+  inst.y[1] = 0;
+  EXPECT_EQ(evaluate(inst), 0);
+}
+
+TEST(Evaluate, RejectsInvalid) {
+  Instance inst;
+  inst.n = 1;
+  inst.q = 5;
+  inst.x = {2};
+  inst.y = {2};
+  EXPECT_THROW(evaluate(inst), util::CheckError);
+}
+
+class RandomInstanceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomInstanceSweep, GeneratorRespectsPromiseAndForce) {
+  const auto [n, q] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n) * 1000 + q);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Instance free = randomInstance(n, q, rng);
+    EXPECT_TRUE(cyclePromiseHolds(free));
+    const Instance zero = randomInstance(n, q, rng, 0);
+    EXPECT_EQ(evaluate(zero), 0);
+    const Instance one = randomInstance(n, q, rng, 1);
+    EXPECT_EQ(evaluate(one), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomInstanceSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 8, 64),
+                                            ::testing::Values(3, 5, 9, 31)));
+
+TEST(Figure1, ExactInstance) {
+  const Instance inst = figure1Instance();
+  EXPECT_EQ(inst.n, 4);
+  EXPECT_EQ(inst.q, 5);
+  EXPECT_EQ(inst.x, (std::vector<int>{3, 1, 1, 0}));
+  EXPECT_EQ(inst.y, (std::vector<int>{2, 2, 0, 0}));
+  EXPECT_EQ(evaluate(inst), 0);
+}
+
+TEST(LowerBoundFormula, ShapeAndFloor) {
+  EXPECT_GE(ccLowerBoundBits(10, 99), 1.0);  // floored
+  EXPECT_GT(ccLowerBoundBits(1 << 20, 3), ccLowerBoundBits(1 << 20, 31));
+  EXPECT_GT(ccLowerBoundBits(1 << 20, 5), ccLowerBoundBits(1 << 10, 5));
+}
+
+TEST(Channel, CountsDirections) {
+  CountedChannel ch;
+  ch.transfer(Direction::kAliceToBob, 10);
+  ch.transfer(Direction::kBobToAlice, 3);
+  ch.transfer(Direction::kAliceToBob, 5);
+  EXPECT_EQ(ch.aliceToBobBits(), 15u);
+  EXPECT_EQ(ch.bobToAliceBits(), 3u);
+  EXPECT_EQ(ch.totalBits(), 18u);
+}
+
+class TrivialProtocolSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TrivialProtocolSweep, BothProtocolsExactOnRandomInstances) {
+  const auto [n, q] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n) * 31 + q);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Instance inst =
+        randomInstance(n, q, rng, trial % 3 == 0 ? std::optional<int>(0)
+                       : trial % 3 == 1         ? std::optional<int>(1)
+                                                : std::nullopt);
+    const int truth = evaluate(inst);
+    CountedChannel ch1, ch2;
+    EXPECT_EQ(solveSendAll(inst, ch1), truth);
+    EXPECT_EQ(solveZeroPositions(inst, ch2), truth);
+    // Send-all cost is exactly n * ceil(log2 q) + 1.
+    EXPECT_EQ(ch1.totalBits(),
+              static_cast<std::uint64_t>(n) * util::bitWidthFor(q) + 1);
+    // Zero-positions cost is bounded by (n+1) indices + 1.
+    EXPECT_LE(ch2.totalBits(),
+              static_cast<std::uint64_t>(n + 1) * util::bitWidthFor(n) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TrivialProtocolSweep,
+                         ::testing::Combine(::testing::Values(1, 16, 128),
+                                            ::testing::Values(3, 7, 31)));
+
+TEST(Describe, MentionsFields) {
+  const std::string s = describe(figure1Instance());
+  EXPECT_NE(s.find("q=5"), std::string::npos);
+  EXPECT_NE(s.find("disj=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynet::cc

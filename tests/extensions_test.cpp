@@ -1,0 +1,324 @@
+// Tests for the extension layer: dual-graph model, churn adversaries and
+// metrics, HEAR-FROM-N, the cascade ablation, and the §7 pre-count
+// ablation instrumentation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/churn_adversaries.h"
+#include "adversary/dual_graph.h"
+#include "adversary/static_adversaries.h"
+#include "lowerbound/lambda.h"
+#include "lowerbound/spoiled.h"
+#include "net/churn.h"
+#include "net/diameter.h"
+#include "protocols/hear_from_n.h"
+#include "protocols/leader_unknown_d.h"
+#include "protocols/oracles.h"
+#include "sim/engine.h"
+
+namespace dynet {
+namespace {
+
+using sim::NodeId;
+using sim::Round;
+
+std::vector<sim::Action> allReceiving(NodeId n) {
+  return std::vector<sim::Action>(static_cast<std::size_t>(n));
+}
+
+// --- Dual graph ---
+
+TEST(DualGraph, ReliableMustBeConnected) {
+  EXPECT_THROW(adv::DualGraphAdversary(
+                   std::make_shared<net::Graph>(3, std::vector<net::Edge>{}),
+                   {}, adv::DualGraphPolicy::kRandom, 0.5, 1),
+               util::CheckError);
+}
+
+TEST(DualGraph, OffPolicyIsExactlyReliable) {
+  auto adversary = adv::makeRingWithChords(16, adv::DualGraphPolicy::kAdversarialOff,
+                                           0.0, 1);
+  const auto actions = allReceiving(16);
+  auto g = adversary->topology(1, {actions});
+  EXPECT_EQ(g->numEdges(), 16u);  // the ring only
+  EXPECT_TRUE(g->connected());
+}
+
+TEST(DualGraph, GrantedPolicyAddsAllChords) {
+  auto adversary =
+      adv::makeRingWithChords(16, adv::DualGraphPolicy::kRandom, 1.0, 1);
+  const auto actions = allReceiving(16);
+  auto g = adversary->topology(1, {actions});
+  EXPECT_GT(g->numEdges(), 16u);
+  // Strides 2,4,8: stride-2 chord (0,2) must be there.
+  EXPECT_TRUE(g->hasEdge(0, 2));
+}
+
+TEST(DualGraph, DuplicateUnreliableEdgesDropped) {
+  // Ring edge (0,1) also listed as unreliable must not double-appear.
+  adv::DualGraphAdversary adversary(net::makeRing(6), {{0, 1}, {0, 3}},
+                                    adv::DualGraphPolicy::kRandom, 1.0, 1);
+  const auto actions = allReceiving(6);
+  auto g = adversary.topology(1, {actions});
+  int count01 = 0;
+  for (const auto& e : g->edges()) {
+    if ((e.a == 0 && e.b == 1) || (e.a == 1 && e.b == 0)) {
+      ++count01;
+    }
+  }
+  EXPECT_EQ(count01, 1);
+  EXPECT_TRUE(g->hasEdge(0, 3));
+}
+
+TEST(DualGraph, FlakyGrantsOnlyReceiverPairs) {
+  auto adversary =
+      adv::makeRingWithChords(12, adv::DualGraphPolicy::kFlaky, 0.0, 1);
+  std::vector<sim::Action> actions(12);
+  for (NodeId v = 0; v < 12; v += 2) {
+    actions[static_cast<std::size_t>(v)].send = true;  // evens send
+  }
+  auto g = adversary->topology(1, {actions});
+  for (const auto& e : g->edges()) {
+    const bool ring = (e.b == (e.a + 1) % 12) || (e.a == (e.b + 1) % 12);
+    if (!ring) {
+      EXPECT_FALSE(actions[static_cast<std::size_t>(e.a)].send) << e.a;
+      EXPECT_FALSE(actions[static_cast<std::size_t>(e.b)].send) << e.b;
+    }
+  }
+}
+
+TEST(DualGraph, GrantedDiameterLogVsOffDiameterLinear) {
+  const NodeId n = 64;
+  const auto actions = allReceiving(n);
+  auto measure = [&](adv::DualGraphPolicy policy, double p) {
+    auto adversary = adv::makeRingWithChords(n, policy, p, 2);
+    net::TopologySeq topo;
+    for (Round r = 1; r <= 2 * n; ++r) {
+      topo.push_back(adversary->topology(r, {actions}));
+    }
+    return net::allSourcesEccentricity(topo, 0);
+  };
+  const int granted = measure(adv::DualGraphPolicy::kRandom, 1.0);
+  const int off = measure(adv::DualGraphPolicy::kAdversarialOff, 0.0);
+  EXPECT_LE(granted, 8);
+  EXPECT_EQ(off, n / 2);
+}
+
+// --- Churn adversaries & metrics ---
+
+TEST(EdgeChurn, ZeroChurnIsStatic) {
+  adv::EdgeChurnAdversary adversary(20, 0, 5);
+  const auto actions = allReceiving(20);
+  auto g1 = adversary.topology(1, {actions});
+  auto g2 = adversary.topology(2, {actions});
+  EXPECT_EQ(g1.get(), g2.get());
+  EXPECT_TRUE(g1->connected());
+  EXPECT_EQ(g1->numEdges(), 19u);
+}
+
+TEST(EdgeChurn, StaysSpanningTreeUnderChurn) {
+  adv::EdgeChurnAdversary adversary(40, 4, 5);
+  const auto actions = allReceiving(40);
+  for (Round r = 1; r <= 50; ++r) {
+    auto g = adversary.topology(r, {actions});
+    ASSERT_EQ(g->numEdges(), 39u) << r;
+    ASSERT_TRUE(g->connected()) << r;
+  }
+}
+
+TEST(RandomGraph, ConnectedAndDensityScalesWithP) {
+  const NodeId n = 60;
+  const auto actions = allReceiving(n);
+  adv::RandomGraphAdversary sparse(n, 0.0, 3);
+  adv::RandomGraphAdversary dense(n, 0.2, 3);
+  std::size_t sparse_edges = 0;
+  std::size_t dense_edges = 0;
+  for (Round r = 1; r <= 10; ++r) {
+    auto gs = sparse.topology(r, {actions});
+    auto gd = dense.topology(r, {actions});
+    ASSERT_TRUE(gs->connected());
+    ASSERT_TRUE(gd->connected());
+    sparse_edges += gs->numEdges();
+    dense_edges += gd->numEdges();
+  }
+  EXPECT_EQ(sparse_edges, 10u * 59u);  // tree only
+  // Expected extra edges ~ 0.2 * C(60,2) = 354 per round.
+  EXPECT_GT(dense_edges, 10u * 250u);
+  EXPECT_LT(dense_edges, 10u * 500u);
+}
+
+TEST(RandomGraph, NoDuplicateEdges) {
+  adv::RandomGraphAdversary adversary(30, 0.3, 9);
+  const auto actions = allReceiving(30);
+  auto g = adversary.topology(1, {actions});
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& e : g->edges()) {
+    const auto key = std::minmax(e.a, e.b);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << e.a << "," << e.b;
+  }
+}
+
+TEST(ChurnMetrics, JaccardBounds) {
+  auto path = net::makePath(10);
+  auto ring = net::makeRing(10);
+  EXPECT_DOUBLE_EQ(net::edgeJaccard(*path, *path), 1.0);
+  // Ring = path + closing edge: 9 common, 10 union.
+  EXPECT_DOUBLE_EQ(net::edgeJaccard(*path, *ring), 0.9);
+  auto star = net::makeStar(10, 5);
+  const double j = net::edgeJaccard(*path, *star);
+  EXPECT_GE(j, 0.0);
+  EXPECT_LT(j, 0.3);
+}
+
+TEST(ChurnMetrics, MeanConsecutive) {
+  net::TopologySeq topo = {net::makePath(8), net::makePath(8), net::makeRing(8)};
+  const double mean = net::meanConsecutiveJaccard(topo);
+  EXPECT_NEAR(mean, (1.0 + 7.0 / 8.0) / 2.0, 1e-12);
+}
+
+TEST(ChurnMetrics, DegreeStats) {
+  const auto stats = net::degreeStats(*net::makeStar(9, 0));
+  EXPECT_EQ(stats.max, 8);
+  EXPECT_EQ(stats.min, 1);
+  EXPECT_NEAR(stats.mean, 16.0 / 9.0, 1e-12);
+}
+
+// --- HEAR-FROM-N ---
+
+TEST(HearFromN, ClaimsOnceEstimateClears) {
+  const NodeId n = 48;
+  const int k = 128;
+  const Round budget = proto::countingRounds(k, 8, n, 3);
+  proto::HearFromNFactory factory(k, budget, 7, 0.25);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = budget + 1;
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::EdgeChurnAdversary>(n, 2, 7),
+                     config, 7);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.all_done);
+  for (NodeId v = 0; v < n; v += 11) {
+    const auto* p =
+        dynamic_cast<const proto::HearFromNProcess*>(&engine.process(v));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->output(), 1u) << v;
+    EXPECT_GT(p->claimRound(), 0) << v;
+    EXPECT_LE(p->claimRound(), budget) << v;
+  }
+}
+
+TEST(HearFromN, DoesNotClaimWithTinyBudget) {
+  const NodeId n = 64;
+  proto::HearFromNFactory factory(128, /*max_rounds=*/64, 7, 0.1);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = 65;
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::StaticAdversary>(net::makePath(n)),
+                     config, 7);
+  engine.run();
+  const auto* p =
+      dynamic_cast<const proto::HearFromNProcess*>(&engine.process(n / 2));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->output(), 0u);  // timed out without claiming
+}
+
+// --- Ablations ---
+
+TEST(CascadeAblation, SimultaneousRemovalBreaksLemma4) {
+  cc::Instance inst;
+  inst.n = 1;
+  inst.q = 15;
+  inst.x = {0};
+  inst.y = {0};
+  auto probe = [&](lb::CascadeMode mode) {
+    lb::LambdaNet net(inst, 0, mode);
+    proto::RandomBabblerFactory factory(16);
+    std::vector<std::unique_ptr<sim::Process>> ps;
+    for (NodeId v = 0; v < net.numNodes(); ++v) {
+      ps.push_back(factory.create(v, net.numNodes()));
+    }
+    class A : public sim::Adversary {
+     public:
+      explicit A(const lb::LambdaNet& n) : net_(n) {}
+      net::GraphPtr topology(Round r, const sim::RoundObservation& obs) override {
+        std::vector<net::Edge> edges;
+        net_.appendReferenceEdges(r, obs.actions, edges);
+        return std::make_shared<net::Graph>(net_.numNodes(), std::move(edges));
+      }
+      NodeId numNodes() const override { return net_.numNodes(); }
+
+     private:
+      const lb::LambdaNet& net_;
+    };
+    sim::EngineConfig config;
+    config.max_rounds = inst.q;
+    config.record_topologies = true;
+    config.record_actions = true;
+    config.stop_when_all_done = false;
+    sim::Engine engine(std::move(ps), std::make_unique<A>(net), config, 3);
+    engine.run();
+    std::vector<Round> spoiled(static_cast<std::size_t>(net.numNodes()),
+                               lb::kNever);
+    net.fillSpoiledFrom(lb::Party::kAlice, spoiled);
+    return lb::checkNeighborhoodLemma(
+               net.numNodes(), spoiled,
+               [&net](Round r) {
+                 std::vector<net::Edge> edges;
+                 net.appendPartyEdges(lb::Party::kAlice, r, edges);
+                 return edges;
+               },
+               engine.topologies(), engine.actionTrace(), {net.b()},
+               (inst.q - 1) / 2)
+        .size();
+  };
+  EXPECT_EQ(probe(lb::CascadeMode::kCascading), 0u);
+  EXPECT_GT(probe(lb::CascadeMode::kSimultaneous), 0u);
+}
+
+TEST(PrecountAblation, SkipProducesMoreLockAttempts) {
+  const NodeId n = 48;
+  auto run = [&](bool skip) {
+    proto::LeaderConfig config;
+    config.n_estimate = 1.1 * n;
+    config.c = 0.25;
+    config.k = 64;
+    config.skip_precount = skip;
+    proto::LeaderElectFactory factory(config, 123);
+    std::vector<std::unique_ptr<sim::Process>> ps;
+    for (NodeId v = 0; v < n; ++v) {
+      ps.push_back(factory.create(v, n));
+    }
+    sim::EngineConfig engine_config;
+    engine_config.max_rounds = 5'000'000;
+    sim::Engine engine(std::move(ps),
+                       std::make_unique<adv::StaticAdversary>(net::makeRing(n)),
+                       engine_config, 9);
+    engine.run();
+    int locks = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto* lp =
+          dynamic_cast<const proto::LeaderElectProcess*>(&engine.process(v));
+      if (lp != nullptr) {
+        locks += lp->lockAttempts();
+      }
+    }
+    return locks;
+  };
+  const int with_precount = run(false);
+  const int without = run(true);
+  EXPECT_LE(with_precount, 2);
+  EXPECT_GT(without, with_precount);
+}
+
+}  // namespace
+}  // namespace dynet

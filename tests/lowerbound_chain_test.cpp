@@ -1,0 +1,476 @@
+// Chain label algebra and subnetwork structure: removal schedules of the
+// three adversaries (exhaustive over feasible labels), the paper's Figure
+// 1/2/3 examples, node counts, and per-round connectivity.
+#include <gtest/gtest.h>
+
+#include "cc/disjointness_cp.h"
+#include "lowerbound/chain.h"
+#include "lowerbound/composition.h"
+#include "lowerbound/gamma.h"
+#include "lowerbound/lambda.h"
+#include "util/check.h"
+
+namespace dynet::lb {
+namespace {
+
+TEST(Feasible, EnumeratesSixShapes) {
+  const int q = 7;
+  int count = 0;
+  for (int x = 0; x < q; ++x) {
+    for (int y = 0; y < q; ++y) {
+      if (feasibleLabels(x, y, q)) {
+        ++count;
+      }
+    }
+  }
+  // (0,0), (q-1,q-1), q-1 ascending, q-1 descending.
+  EXPECT_EQ(count, 2 + 2 * (q - 1));
+}
+
+TEST(EdgeSchedule, PresenceSemantics) {
+  const EdgeSchedule keep{EdgeRule::kKeep, kNever};
+  EXPECT_TRUE(keep.presentAt(1, true));
+  EXPECT_TRUE(keep.presentAt(1000000, false));
+
+  const EdgeSchedule fixed{EdgeRule::kFixed, 3};
+  EXPECT_TRUE(fixed.presentAt(2, true));
+  EXPECT_FALSE(fixed.presentAt(3, true));
+  EXPECT_FALSE(fixed.presentAt(4, false));
+
+  const EdgeSchedule cond{EdgeRule::kConditional, 2};  // base t = 2
+  EXPECT_TRUE(cond.presentAt(2, false));
+  EXPECT_TRUE(cond.presentAt(3, true));    // mid receiving in t+1: defer
+  EXPECT_FALSE(cond.presentAt(3, false));  // mid sending: removed at t+1
+  EXPECT_FALSE(cond.presentAt(4, true));   // gone from t+2 regardless
+}
+
+struct ChainCase {
+  int top;
+  int bottom;
+  // Expected reference behaviour.
+  EdgeRule top_rule;
+  Round top_round;
+  EdgeRule bottom_rule;
+  Round bottom_round;
+};
+
+class ReferenceRuleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReferenceRuleSweep, AllFeasiblePairsMatchRules) {
+  const int q = GetParam();
+  for (int top = 0; top < q; ++top) {
+    for (int bottom = 0; bottom < q; ++bottom) {
+      if (!feasibleLabels(top, bottom, q)) {
+        continue;
+      }
+      const ChainSchedule s =
+          referenceSchedule(top, bottom, q, Subnet::kGamma);
+      if (top == 0 && bottom == 0) {
+        EXPECT_EQ(s.top.rule, EdgeRule::kFixed);
+        EXPECT_EQ(s.top.round, 1);
+        EXPECT_EQ(s.bottom.rule, EdgeRule::kFixed);
+        EXPECT_EQ(s.bottom.round, 1);
+        EXPECT_TRUE(s.both_removed);
+      } else if (top == q - 1 && bottom == q - 1) {
+        EXPECT_EQ(s.top.rule, EdgeRule::kKeep);
+        EXPECT_EQ(s.bottom.rule, EdgeRule::kKeep);
+      } else if (top % 2 == 0 && bottom == top - 1) {
+        // Rule 1.
+        EXPECT_EQ(s.top.rule, EdgeRule::kFixed);
+        EXPECT_EQ(s.top.round, top / 2 + 1);
+        EXPECT_EQ(s.bottom.rule, EdgeRule::kKeep);
+      } else if (top % 2 == 1 && bottom == top + 1) {
+        // Rule 2.
+        EXPECT_EQ(s.bottom.rule, EdgeRule::kFixed);
+        EXPECT_EQ(s.bottom.round, bottom / 2 + 1);
+        EXPECT_EQ(s.top.rule, EdgeRule::kKeep);
+      } else if (top % 2 == 0 && bottom == top + 1) {
+        // Rule 3.
+        EXPECT_EQ(s.top.rule, EdgeRule::kConditional);
+        EXPECT_EQ(s.top.round, top / 2);
+        EXPECT_EQ(s.bottom.rule, EdgeRule::kKeep);
+      } else {
+        // Rule 4.
+        EXPECT_EQ(s.bottom.rule, EdgeRule::kConditional);
+        EXPECT_EQ(s.bottom.round, bottom / 2);
+        EXPECT_EQ(s.top.rule, EdgeRule::kKeep);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, ReferenceRuleSweep, ::testing::Values(3, 5, 7, 9, 31));
+
+TEST(ReferenceRuleLambda, CascadeChains) {
+  const int q = 7;
+  // (2t, 2t) for t <= (q-3)/2 = 2: removed at t+1.
+  for (int t = 0; t <= 2; ++t) {
+    const ChainSchedule s =
+        referenceSchedule(2 * t, 2 * t, q, Subnet::kLambda);
+    EXPECT_EQ(s.top.rule, EdgeRule::kFixed);
+    EXPECT_EQ(s.top.round, t + 1);
+    EXPECT_EQ(s.bottom.round, t + 1);
+    EXPECT_TRUE(s.both_removed);
+  }
+  // (q-1, q-1) untouched.
+  const ChainSchedule last = referenceSchedule(q - 1, q - 1, q, Subnet::kLambda);
+  EXPECT_EQ(last.top.rule, EdgeRule::kKeep);
+  EXPECT_EQ(last.bottom.rule, EdgeRule::kKeep);
+}
+
+TEST(ReferenceRuleGamma, EqualEvenLabelsRejectedOutsideLambda) {
+  EXPECT_THROW(referenceSchedule(2, 2, 7, Subnet::kGamma), util::CheckError);
+}
+
+class PartyRuleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartyRuleSweep, WildcardRules) {
+  const int q = GetParam();
+  for (int label = 0; label < q; ++label) {
+    const ChainSchedule alice = aliceSchedule(label, q);
+    const ChainSchedule bob = bobSchedule(label, q);
+    if (label % 2 == 0) {
+      EXPECT_EQ(alice.top.rule, EdgeRule::kFixed);
+      EXPECT_EQ(alice.top.round, label / 2 + 1);
+      EXPECT_EQ(alice.bottom.rule, EdgeRule::kKeep);
+      EXPECT_EQ(bob.bottom.rule, EdgeRule::kFixed);
+      EXPECT_EQ(bob.bottom.round, label / 2 + 1);
+      EXPECT_EQ(bob.top.rule, EdgeRule::kKeep);
+    } else {
+      EXPECT_EQ(alice.bottom.rule, EdgeRule::kFixed);
+      EXPECT_EQ(alice.bottom.round, (label - 1) / 2 + 2);
+      EXPECT_EQ(alice.top.rule, EdgeRule::kKeep);
+      EXPECT_EQ(bob.top.rule, EdgeRule::kFixed);
+      EXPECT_EQ(bob.top.round, (label - 1) / 2 + 2);
+      EXPECT_EQ(bob.bottom.rule, EdgeRule::kKeep);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, PartyRuleSweep, ::testing::Values(3, 5, 7, 9));
+
+TEST(PartyRules, NoRemovalsWithinHorizonForHighLabels) {
+  // Paper: "Alice's adversary will not have removed any edges from
+  // |q-1 and |q-2 chains by the end of the simulation" ((q-1)/2 rounds).
+  for (const int q : {5, 7, 9, 31}) {
+    const Round horizon = (q - 1) / 2;
+    for (const int label : {q - 1, q - 2}) {
+      const ChainSchedule s = aliceSchedule(label, q);
+      EXPECT_TRUE(s.top.presentAt(horizon, true)) << "q=" << q << " l=" << label;
+      EXPECT_TRUE(s.bottom.presentAt(horizon, true));
+    }
+  }
+}
+
+TEST(PartyRules, AgreeWithReferenceOnUnconditionalShapes) {
+  // Rules 1 and 2 chains: all three adversaries behave identically.
+  const int q = 9;
+  for (int top = 0; top < q; ++top) {
+    for (int bottom = 0; bottom < q; ++bottom) {
+      if (!feasibleLabels(top, bottom, q) || top == bottom) {
+        continue;
+      }
+      const bool rule12 = (top % 2 == 0 && bottom == top - 1) ||
+                          (top % 2 == 1 && bottom == top + 1);
+      if (!rule12) {
+        continue;
+      }
+      const ChainSchedule ref = referenceSchedule(top, bottom, q, Subnet::kGamma);
+      const ChainSchedule alice = aliceSchedule(top, q);
+      const ChainSchedule bob = bobSchedule(bottom, q);
+      for (Round r = 1; r <= q; ++r) {
+        EXPECT_EQ(ref.top.presentAt(r, true), alice.top.presentAt(r, true));
+        EXPECT_EQ(ref.top.presentAt(r, true), bob.top.presentAt(r, true));
+        EXPECT_EQ(ref.bottom.presentAt(r, true), alice.bottom.presentAt(r, true));
+        EXPECT_EQ(ref.bottom.presentAt(r, true), bob.bottom.presentAt(r, true));
+      }
+    }
+  }
+}
+
+TEST(Spoiled, RulesMatchPaper) {
+  // Alice, |2t over *: V and W spoiled from t+1; |2t+1 over *: W from t+1.
+  EXPECT_EQ(aliceSpoiled(4).u, kNever);
+  EXPECT_EQ(aliceSpoiled(4).v, 3);
+  EXPECT_EQ(aliceSpoiled(4).w, 3);
+  EXPECT_EQ(aliceSpoiled(5).u, kNever);
+  EXPECT_EQ(aliceSpoiled(5).v, kNever);
+  EXPECT_EQ(aliceSpoiled(5).w, 3);
+  // Bob, symmetric on bottoms.
+  EXPECT_EQ(bobSpoiled(4).w, kNever);
+  EXPECT_EQ(bobSpoiled(4).v, 3);
+  EXPECT_EQ(bobSpoiled(4).u, 3);
+  EXPECT_EQ(bobSpoiled(5).u, 3);
+  EXPECT_EQ(bobSpoiled(5).v, kNever);
+  // Figure 3 narrative: V on the (2,3) chain spoiled for Alice at round 2.
+  EXPECT_EQ(aliceSpoiled(2).v, 2);
+}
+
+// --- Figure 1: the exact published example. ---
+
+class Fig1Gamma : public ::testing::Test {
+ protected:
+  Fig1Gamma() : net_(cc::figure1Instance(), 0) {}
+  GammaNet net_;
+};
+
+TEST_F(Fig1Gamma, Structure) {
+  EXPECT_EQ(net_.groups(), 4);
+  EXPECT_EQ(net_.chainsPerGroup(), 2);
+  EXPECT_EQ(net_.numNodes(), 2 + 3 * 4 * 2);  // (3/2)n(q-1)+2 = 26
+  // Group 3 is the |0,0 group: 2 line middles.
+  EXPECT_EQ(net_.zeroLineMids().size(), 2u);
+}
+
+bool hasEdge(const std::vector<net::Edge>& edges, NodeId a, NodeId b) {
+  for (const auto& e : edges) {
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST_F(Fig1Gamma, ReferenceScheduleWithAllMiddlesReceiving) {
+  // Figure 1 assumes all middles receive every round.  Expected removals:
+  //   group 0, labels (3,2): rule 4, defer -> bottom absent from round 3;
+  //   group 1, labels (1,2): rule 2 -> bottom absent from round 2;
+  //   group 2, labels (1,0): rule 4, defer -> bottom absent from round 2;
+  //   group 3, labels (0,0): both absent from round 1, middles in a line.
+  std::vector<sim::Action> receiving(static_cast<std::size_t>(net_.numNodes()));
+  for (Round r = 1; r <= 2; ++r) {
+    std::vector<net::Edge> edges;
+    net_.appendReferenceEdges(r, receiving, edges);
+    for (int j = 0; j < 2; ++j) {
+      // Group 0: top always present; bottom present through round 2.
+      EXPECT_TRUE(hasEdge(edges, net_.top(0, j), net_.mid(0, j)));
+      EXPECT_EQ(hasEdge(edges, net_.mid(0, j), net_.bottom(0, j)), r <= 2);
+      // Group 1: bottom gone from round 2.
+      EXPECT_TRUE(hasEdge(edges, net_.top(1, j), net_.mid(1, j)));
+      EXPECT_EQ(hasEdge(edges, net_.mid(1, j), net_.bottom(1, j)), r < 2);
+      // Group 2: bottom gone from round 2 (deferred from 1).
+      EXPECT_TRUE(hasEdge(edges, net_.top(2, j), net_.mid(2, j)));
+      EXPECT_EQ(hasEdge(edges, net_.mid(2, j), net_.bottom(2, j)), r < 2);
+      // Group 3: both gone from round 1.
+      EXPECT_FALSE(hasEdge(edges, net_.top(3, j), net_.mid(3, j)));
+      EXPECT_FALSE(hasEdge(edges, net_.mid(3, j), net_.bottom(3, j)));
+      // Permanent attachments.
+      EXPECT_TRUE(hasEdge(edges, net_.a(), net_.top(0, j)));
+      EXPECT_TRUE(hasEdge(edges, net_.bottom(2, j), net_.b()));
+    }
+    // The |0,0 line.
+    EXPECT_TRUE(hasEdge(edges, net_.zeroLineMids()[0], net_.zeroLineMids()[1]));
+  }
+  // Round 3: group 0 bottoms gone too.
+  std::vector<net::Edge> edges;
+  net_.appendReferenceEdges(3, receiving, edges);
+  EXPECT_FALSE(hasEdge(edges, net_.mid(0, 0), net_.bottom(0, 0)));
+}
+
+TEST_F(Fig1Gamma, ReferenceScheduleWithMiddlesSending) {
+  // If the (1,0) middles send in round 1, rule 4 removes their bottoms in
+  // round 1 already.
+  std::vector<sim::Action> actions(static_cast<std::size_t>(net_.numNodes()));
+  for (int j = 0; j < 2; ++j) {
+    actions[static_cast<std::size_t>(net_.mid(2, j))].send = true;
+  }
+  std::vector<net::Edge> edges;
+  net_.appendReferenceEdges(1, actions, edges);
+  EXPECT_FALSE(hasEdge(edges, net_.mid(2, 0), net_.bottom(2, 0)));
+  EXPECT_FALSE(hasEdge(edges, net_.mid(2, 1), net_.bottom(2, 1)));
+}
+
+TEST_F(Fig1Gamma, PartyViewsMatchPaperNarrative) {
+  // Bob removes the bottom edge of every (1,0) chain at round 1 while the
+  // reference (middles receiving) waits until round 2.
+  std::vector<net::Edge> bob_edges;
+  net_.appendPartyEdges(Party::kBob, 1, bob_edges);
+  EXPECT_FALSE(hasEdge(bob_edges, net_.mid(2, 0), net_.bottom(2, 0)));
+  // Alice at round 1: (0,0) chain tops removed (x=0 is even), and she keeps
+  // the bottoms (the "?" region).
+  std::vector<net::Edge> alice_edges;
+  net_.appendPartyEdges(Party::kAlice, 1, alice_edges);
+  EXPECT_FALSE(hasEdge(alice_edges, net_.top(3, 0), net_.mid(3, 0)));
+  EXPECT_TRUE(hasEdge(alice_edges, net_.mid(3, 0), net_.bottom(3, 0)));
+  // Neither party sees the |0,0 line.
+  EXPECT_FALSE(
+      hasEdge(alice_edges, net_.zeroLineMids()[0], net_.zeroLineMids()[1]));
+  EXPECT_FALSE(
+      hasEdge(bob_edges, net_.zeroLineMids()[0], net_.zeroLineMids()[1]));
+}
+
+TEST_F(Fig1Gamma, SpoiledAssignments) {
+  const auto alice = [&] {
+    std::vector<Round> s(static_cast<std::size_t>(net_.numNodes()), kNever);
+    net_.fillSpoiledFrom(Party::kAlice, s);
+    return s;
+  }();
+  EXPECT_EQ(alice[static_cast<std::size_t>(net_.a())], kNever);
+  EXPECT_EQ(alice[static_cast<std::size_t>(net_.b())], kAlwaysSpoiled);
+  // Group 3 (0,0): V, W spoiled from round 1; U never.
+  EXPECT_EQ(alice[static_cast<std::size_t>(net_.top(3, 0))], kNever);
+  EXPECT_EQ(alice[static_cast<std::size_t>(net_.mid(3, 0))], 1);
+  EXPECT_EQ(alice[static_cast<std::size_t>(net_.bottom(3, 0))], 1);
+  // Group 0 (3,2): top odd -> only W spoiled, from round 2.
+  EXPECT_EQ(alice[static_cast<std::size_t>(net_.mid(0, 0))], kNever);
+  EXPECT_EQ(alice[static_cast<std::size_t>(net_.bottom(0, 0))], 2);
+}
+
+// --- Figures 2 and 3: centipede structures. ---
+
+TEST(Fig2Lambda, ZeroZeroCentipedeCascade) {
+  // x_i = y_i = 0, q = 7: chains labelled (0,0), (2,2), (4,4), (6,6);
+  // removals at rounds 1, 2, 3; the (6,6) chain is untouched.
+  cc::Instance inst;
+  inst.n = 1;
+  inst.q = 7;
+  inst.x = {0};
+  inst.y = {0};
+  LambdaNet net(inst, 0);
+  EXPECT_EQ(net.chainsPerCentipede(), 4);
+  EXPECT_EQ(net.mountingPoints().size(), 1u);
+  EXPECT_EQ(net.mountingPoints()[0], net.mid(0, 0));
+  std::vector<sim::Action> receiving(static_cast<std::size_t>(net.numNodes()));
+  for (Round r = 1; r <= 4; ++r) {
+    std::vector<net::Edge> edges;
+    net.appendReferenceEdges(r, receiving, edges);
+    auto chain_present = [&](int j) {
+      return hasEdge(edges, net.top(0, j), net.mid(0, j)) &&
+             hasEdge(edges, net.mid(0, j), net.bottom(0, j));
+    };
+    EXPECT_EQ(chain_present(0), r < 1) << "r=" << r;
+    EXPECT_EQ(chain_present(1), r < 2) << "r=" << r;
+    EXPECT_EQ(chain_present(2), r < 3) << "r=" << r;
+    EXPECT_TRUE(chain_present(3)) << "r=" << r;
+    // Middle line is permanent.
+    for (int j = 0; j + 1 < 4; ++j) {
+      EXPECT_TRUE(hasEdge(edges, net.mid(0, j), net.mid(0, j + 1)));
+    }
+  }
+}
+
+TEST(Fig3Lambda, ShiftedLabelsCascade) {
+  // x_i = 2, y_i = 3, q = 7: chains labelled (2,3), (4,5), (6,6), (6,6).
+  cc::Instance inst;
+  inst.n = 1;
+  inst.q = 7;
+  inst.x = {2};
+  inst.y = {3};
+  LambdaNet net(inst, 0);
+  EXPECT_EQ(net.topLabel(0, 0), 2);
+  EXPECT_EQ(net.bottomLabel(0, 0), 3);
+  EXPECT_EQ(net.topLabel(0, 1), 4);
+  EXPECT_EQ(net.bottomLabel(0, 1), 5);
+  EXPECT_EQ(net.topLabel(0, 2), 6);
+  EXPECT_EQ(net.bottomLabel(0, 2), 6);
+  EXPECT_EQ(net.topLabel(0, 3), 6);
+  EXPECT_TRUE(net.mountingPoints().empty());
+  // With all middles *sending* (the figure's assumption), rule 3 fires at
+  // t+1: chain (2,3) loses its top edge at round 2, chain (4,5) at round 3.
+  std::vector<sim::Action> sending(static_cast<std::size_t>(net.numNodes()));
+  for (auto& a : sending) {
+    a.send = true;
+  }
+  for (Round r = 1; r <= 3; ++r) {
+    std::vector<net::Edge> edges;
+    net.appendReferenceEdges(r, sending, edges);
+    EXPECT_EQ(hasEdge(edges, net.top(0, 0), net.mid(0, 0)), r < 2) << r;
+    EXPECT_EQ(hasEdge(edges, net.top(0, 1), net.mid(0, 1)), r < 3) << r;
+    // Bottom edges of rule-3 chains stay.
+    EXPECT_TRUE(hasEdge(edges, net.mid(0, 0), net.bottom(0, 0)));
+    // (6,6) chains stay whole.
+    EXPECT_TRUE(hasEdge(edges, net.top(0, 2), net.mid(0, 2)));
+    EXPECT_TRUE(hasEdge(edges, net.mid(0, 2), net.bottom(0, 2)));
+  }
+}
+
+TEST(LambdaNet, LastChainAlwaysIntactKeepsSubnetConnected) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const cc::Instance inst = cc::randomInstance(3, 9, rng);
+    LambdaNet net(inst, 0);
+    std::vector<sim::Action> receiving(static_cast<std::size_t>(net.numNodes()));
+    for (Round r = 1; r <= inst.q; ++r) {
+      std::vector<net::Edge> edges;
+      net.appendReferenceEdges(r, receiving, edges);
+      net::Graph g(net.numNodes(), edges);
+      EXPECT_TRUE(g.connected())
+          << "trial " << trial << " round " << r << " " << cc::describe(inst);
+    }
+  }
+}
+
+TEST(NodeCounts, MatchTheoremSix) {
+  util::Rng rng(4);
+  for (const int q : {5, 9, 31}) {
+    for (const int n : {1, 2, 5}) {
+      const cc::Instance inst = cc::randomInstance(n, q, rng);
+      const GammaNet gamma(inst, 0);
+      const LambdaNet lambda(inst, gamma.numNodes());
+      EXPECT_EQ(gamma.numNodes(), 3 * n * (q - 1) / 2 + 2);
+      EXPECT_EQ(lambda.numNodes(), 3 * n * (q + 1) / 2 + 2);
+      EXPECT_EQ(gamma.numNodes() + lambda.numNodes(), 3 * n * q + 4);
+    }
+  }
+}
+
+TEST(ZeroLine, SizeMatchesZeroGroups) {
+  cc::Instance inst;
+  inst.n = 3;
+  inst.q = 9;
+  inst.x = {0, 1, 0};
+  inst.y = {0, 2, 0};
+  GammaNet net(inst, 0);
+  // Two |0,0 groups, (q-1)/2 = 4 chains each.
+  EXPECT_EQ(net.zeroLineMids().size(), 8u);
+}
+
+TEST(CFloodNetwork, BridgesPerDisj) {
+  util::Rng rng(6);
+  const cc::Instance one = cc::randomInstance(2, 9, rng, 1);
+  const CFloodNetwork net1(one);
+  EXPECT_EQ(net1.bridges().size(), 2u);
+  const cc::Instance zero = cc::randomInstance(2, 9, rng, 0);
+  const CFloodNetwork net0(zero);
+  EXPECT_EQ(net0.bridges().size(), 3u);
+  EXPECT_EQ(net0.disj(), 0);
+  EXPECT_EQ(net1.disj(), 1);
+  EXPECT_EQ(net0.horizon(), 4);
+}
+
+TEST(ConsensusNetwork, UpsilonExistsIffDisjZero) {
+  util::Rng rng(8);
+  const cc::Instance one = cc::randomInstance(2, 9, rng, 1);
+  const ConsensusNetwork net1(one);
+  EXPECT_FALSE(net1.hasUpsilon());
+  EXPECT_EQ(net1.numNodes(), net1.lambda().numNodes());
+
+  const cc::Instance zero = cc::randomInstance(2, 9, rng, 0);
+  const ConsensusNetwork net0(zero);
+  EXPECT_TRUE(net0.hasUpsilon());
+  EXPECT_EQ(net0.numNodes(), 2 * net0.lambda().numNodes());
+  // Initial values: Λ all 0, Υ all 1.
+  const auto values = net0.initialValues();
+  for (NodeId v = 0; v < net0.lambda().numNodes(); ++v) {
+    EXPECT_EQ(values[static_cast<std::size_t>(v)], 0u);
+  }
+  for (NodeId v = net0.lambda().numNodes(); v < net0.numNodes(); ++v) {
+    EXPECT_EQ(values[static_cast<std::size_t>(v)], 1u);
+  }
+}
+
+TEST(ConsensusNetwork, EstimateValidForBothSizes) {
+  util::Rng rng(9);
+  const cc::Instance zero = cc::randomInstance(2, 9, rng, 0);
+  const ConsensusNetwork net0(zero);
+  const cc::Instance one = cc::randomInstance(2, 9, rng, 1);
+  const ConsensusNetwork net1(one);
+  // Same N' must be within 1/3 relative error of both possible N values.
+  const double n_est = net0.nEstimate();
+  EXPECT_LE(std::abs(n_est - net0.numNodes()) / net0.numNodes(), 1.0 / 3.0 + 1e-9);
+  EXPECT_LE(std::abs(net1.nEstimate() - net1.numNodes()) / net1.numNodes(),
+            1.0 / 3.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace dynet::lb

@@ -1,0 +1,330 @@
+// The executable lower-bound machinery: Lemma 3/4 property checks on real
+// executions, the diameter dichotomy of the compositions, the mounting
+// point's causal insulation, and the full Alice/Bob reduction with
+// cross-validation against the reference execution (Lemma 5).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lowerbound/composition.h"
+#include "lowerbound/party.h"
+#include "lowerbound/reduction.h"
+#include "lowerbound/spoiled.h"
+#include "net/diameter.h"
+#include "protocols/cflood.h"
+#include "protocols/oracles.h"
+#include "sim/engine.h"
+
+namespace dynet::lb {
+namespace {
+
+/// Runs the reference execution of `factory` on the given composed network
+/// for `rounds`, recording everything.
+template <typename Network>
+std::unique_ptr<sim::Engine> runReference(const Network& network,
+                                          const sim::ProcessFactory& factory,
+                                          Round rounds, std::uint64_t seed) {
+  std::vector<std::unique_ptr<sim::Process>> processes;
+  for (NodeId v = 0; v < network.numNodes(); ++v) {
+    processes.push_back(factory.create(v, network.numNodes()));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = rounds;
+  config.record_topologies = true;
+  config.record_actions = true;
+  config.stop_when_all_done = false;
+  auto engine = std::make_unique<sim::Engine>(
+      std::move(processes), network.referenceAdversary(), config, seed);
+  engine->run();
+  return engine;
+}
+
+class LemmaSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LemmaSweep, NeighborhoodLemmaHoldsOnCFloodComposition) {
+  const auto [q, n, force] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(q) * 131 + n * 17 + force);
+  for (int trial = 0; trial < 4; ++trial) {
+    const cc::Instance inst = cc::randomInstance(n, q, rng, force);
+    const CFloodNetwork network(inst);
+    const proto::RandomBabblerFactory babbler(24);
+    const std::uint64_t seed = rng.u64();
+    auto engine = runReference(network, babbler, network.horizon(), seed);
+    for (const Party party : {Party::kAlice, Party::kBob}) {
+      const auto violations = checkNeighborhoodLemma(
+          network.numNodes(), network.spoiledFrom(party),
+          [&network, party](Round r) { return network.partyEdges(party, r); },
+          engine->topologies(), engine->actionTrace(),
+          network.forwardedNodes(party == Party::kAlice ? Party::kBob
+                                                        : Party::kAlice),
+          network.horizon());
+      EXPECT_TRUE(violations.empty())
+          << cc::describe(inst) << " party="
+          << (party == Party::kAlice ? "alice" : "bob") << " first: round "
+          << (violations.empty() ? 0 : violations[0].round) << " node "
+          << (violations.empty() ? 0 : violations[0].node) << " "
+          << (violations.empty() ? "" : violations[0].what);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, LemmaSweep,
+                         ::testing::Combine(::testing::Values(5, 9, 15),
+                                            ::testing::Values(1, 3),
+                                            ::testing::Values(0, 1)));
+
+class ConsensusLemmaSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConsensusLemmaSweep, NeighborhoodLemmaHoldsOnConsensusComposition) {
+  const auto [q, n, force] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(q) * 733 + n * 29 + force);
+  for (int trial = 0; trial < 4; ++trial) {
+    const cc::Instance inst = cc::randomInstance(n, q, rng, force);
+    const ConsensusNetwork network(inst);
+    const proto::RandomBabblerFactory babbler(24);
+    const std::uint64_t seed = rng.u64();
+    auto engine = runReference(network, babbler, network.horizon(), seed);
+    for (const Party party : {Party::kAlice, Party::kBob}) {
+      const auto violations = checkNeighborhoodLemma(
+          network.numNodes(), network.spoiledFrom(party),
+          [&network, party](Round r) { return network.partyEdges(party, r); },
+          engine->topologies(), engine->actionTrace(),
+          network.forwardedNodes(party == Party::kAlice ? Party::kBob
+                                                        : Party::kAlice),
+          network.horizon());
+      EXPECT_TRUE(violations.empty()) << cc::describe(inst);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, ConsensusLemmaSweep,
+                         ::testing::Combine(::testing::Values(5, 9, 15),
+                                            ::testing::Values(1, 3),
+                                            ::testing::Values(0, 1)));
+
+TEST(DiameterDichotomy, CFloodComposition) {
+  util::Rng rng(21);
+  const int q = 15;
+  for (int trial = 0; trial < 3; ++trial) {
+    // DISJ = 1: diameter at most 10 (paper's bound for the composition).
+    {
+      const cc::Instance inst = cc::randomInstance(2, q, rng, 1);
+      const CFloodNetwork network(inst);
+      const proto::RandomBabblerFactory babbler(16);
+      auto engine =
+          runReference(network, babbler, network.horizon() + 12, rng.u64());
+      const int ecc = net::allSourcesEccentricity(engine->topologies(), 0);
+      ASSERT_GT(ecc, 0);
+      EXPECT_LE(ecc, 10) << cc::describe(inst);
+    }
+    // DISJ = 0: the far end of the |0,0 line is not causally reachable from
+    // the source within the horizon (q-1)/2.
+    {
+      const cc::Instance inst = cc::randomInstance(2, q, rng, 0);
+      const CFloodNetwork network(inst);
+      const proto::RandomBabblerFactory babbler(16);
+      auto engine =
+          runReference(network, babbler, network.horizon(), rng.u64());
+      const auto reach = net::causalReach(engine->topologies(),
+                                          network.source(), 0,
+                                          network.horizon());
+      EXPECT_FALSE(net::bitmapTest(reach, network.farLineNode()))
+          << cc::describe(inst);
+    }
+  }
+}
+
+TEST(MountingPoint, CausallyInsulatedForHorizonRounds) {
+  // Paper §5: it takes Ω(q) rounds for a mounting point to causally affect
+  // all other nodes — in particular A_Λ and B_Λ stay untouched within the
+  // horizon.
+  util::Rng rng(22);
+  const int q = 15;
+  const cc::Instance inst = cc::randomInstance(2, q, rng, 0);
+  const ConsensusNetwork network(inst);
+  ASSERT_TRUE(network.hasUpsilon());
+  const proto::RandomBabblerFactory babbler(16);
+  auto engine = runReference(network, babbler, network.horizon() + 6, rng.u64());
+  const NodeId mount = network.lambda().mountingPoints().front();
+  const auto reach = net::causalReach(engine->topologies(), mount, 0,
+                                      network.horizon());
+  EXPECT_FALSE(net::bitmapTest(reach, network.lambda().a()));
+  EXPECT_FALSE(net::bitmapTest(reach, network.lambda().b()));
+  // But it does reach them eventually (connectivity is never broken).
+  const auto reach_later = net::causalReach(engine->topologies(), mount, 0,
+                                            network.horizon() + 4);
+  EXPECT_TRUE(net::bitmapTest(reach_later, network.lambda().a()));
+}
+
+TEST(MountingPoint, UpsilonValuesInsulatedFromLambdaSpecials) {
+  // Information from the Υ side cannot touch A_Λ within the horizon: the
+  // only path crosses both mounting points.
+  util::Rng rng(23);
+  const cc::Instance inst = cc::randomInstance(1, 15, rng, 0);
+  const ConsensusNetwork network(inst);
+  const proto::RandomBabblerFactory babbler(16);
+  auto engine = runReference(network, babbler, network.horizon(), rng.u64());
+  const NodeId upsilon_a = network.upsilon().a();
+  const auto reach = net::causalReach(engine->topologies(), upsilon_a, 0,
+                                      network.horizon());
+  EXPECT_FALSE(net::bitmapTest(reach, network.lambda().a()));
+  EXPECT_FALSE(net::bitmapTest(reach, network.lambda().b()));
+}
+
+class CFloodReductionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CFloodReductionSweep, SimulationMatchesReferenceExactly) {
+  const auto [q, force] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(q) * 37 + force);
+  for (int trial = 0; trial < 3; ++trial) {
+    const cc::Instance inst = cc::randomInstance(2, q, rng, force);
+    const CFloodNetwork network(inst);
+    // Optimistic oracle: wait 12 rounds (enough for any DISJ=1 composition,
+    // whose diameter is at most 10).  Randomized flooding exercises the
+    // receive-conditional adversary rules.
+    const proto::CFloodFactory oracle(network.source(), /*token=*/0x2a,
+                                      /*token_bits=*/8,
+                                      proto::FloodMode::kRandomized,
+                                      /*wait_rounds=*/12);
+    const ReductionResult result =
+        runCFloodReduction(inst, oracle, rng.u64());
+    EXPECT_TRUE(result.simulation_consistent) << cc::describe(inst);
+    EXPECT_GT(result.actions_checked, 0u);
+    EXPECT_EQ(result.disj_truth, force);
+    // Channel cost: per round each party forwards 2 specials, each costing
+    // at most 1 + budget bits.
+    const std::uint64_t per_round_cap =
+        2 * (1 + static_cast<std::uint64_t>(
+                     sim::defaultBudgetBits(network.numNodes())));
+    EXPECT_LE(result.bits_alice_to_bob,
+              per_round_cap * static_cast<std::uint64_t>(result.horizon));
+    EXPECT_LE(result.bits_bob_to_alice,
+              per_round_cap * static_cast<std::uint64_t>(result.horizon));
+    EXPECT_GE(result.bits_alice_to_bob,
+              2 * static_cast<std::uint64_t>(result.horizon));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, CFloodReductionSweep,
+                         ::testing::Combine(::testing::Values(29, 41),
+                                            ::testing::Values(0, 1)));
+
+TEST(CFloodReduction, DichotomyWithDeterministicOracle) {
+  util::Rng rng(31);
+  const int q = 41;  // horizon 20 > oracle wait 12
+  // DISJ = 1: the optimistic oracle terminates within the horizon AND its
+  // output is correct (every node got the token by then).
+  {
+    const cc::Instance inst = cc::randomInstance(2, q, rng, 1);
+    const CFloodNetwork network(inst);
+    const proto::CFloodFactory oracle(network.source(), 0x2a, 8,
+                                      proto::FloodMode::kDeterministic, 12);
+    const ReductionResult result = runCFloodReduction(inst, oracle, rng.u64());
+    EXPECT_TRUE(result.simulation_consistent);
+    EXPECT_EQ(result.claimed_disj, 1);
+    EXPECT_TRUE(result.oracle_output_correct) << cc::describe(inst);
+    EXPECT_EQ(result.token_holders_at_horizon, result.num_nodes);
+  }
+  // DISJ = 0: the same fast oracle still outputs at round 12, but its output
+  // is provably wrong — the far line node cannot have the token.  A correct
+  // CFLOOD protocol therefore cannot be this fast: the content of Theorem 6.
+  {
+    const cc::Instance inst = cc::randomInstance(2, q, rng, 0);
+    const CFloodNetwork network(inst);
+    const proto::CFloodFactory oracle(network.source(), 0x2a, 8,
+                                      proto::FloodMode::kDeterministic, 12);
+    const ReductionResult result = runCFloodReduction(inst, oracle, rng.u64());
+    EXPECT_TRUE(result.simulation_consistent);
+    EXPECT_EQ(result.monitor_done_round, 12);
+    EXPECT_FALSE(result.oracle_output_correct) << cc::describe(inst);
+    EXPECT_LT(result.token_holders_at_horizon, result.num_nodes);
+  }
+  // A pessimistic (always-correct) oracle cannot terminate within the
+  // horizon, so Alice claims DISJ = 0 — on either instance kind.  Its s is
+  // Θ(N) flooding rounds: the cost of not knowing the diameter.
+  {
+    const cc::Instance inst = cc::randomInstance(2, q, rng, 1);
+    const CFloodNetwork network(inst);
+    const proto::CFloodFactory oracle(network.source(), 0x2a, 8,
+                                      proto::FloodMode::kDeterministic,
+                                      network.numNodes() - 1);
+    const ReductionResult result = runCFloodReduction(inst, oracle, rng.u64());
+    EXPECT_EQ(result.claimed_disj, 0);
+    EXPECT_EQ(result.monitor_done_round, -1);
+  }
+}
+
+TEST(CFloodReduction, BabblerOracleStressesMachinery) {
+  util::Rng rng(33);
+  for (const int force : {0, 1}) {
+    const cc::Instance inst = cc::randomInstance(3, 21, rng, force);
+    const proto::RandomBabblerFactory oracle(24);
+    const ReductionResult result = runCFloodReduction(inst, oracle, rng.u64());
+    EXPECT_TRUE(result.simulation_consistent) << cc::describe(inst);
+    EXPECT_GT(result.actions_checked, 1000u);
+  }
+}
+
+class ConsensusReductionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsensusReductionSweep, SimulationMatchesReference) {
+  const int force = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(force) + 55);
+  for (int trial = 0; trial < 3; ++trial) {
+    const cc::Instance inst = cc::randomInstance(2, 29, rng, force);
+    const ConsensusNetwork network(inst);
+    // The oracle must be num_nodes-independent; widths derive from the
+    // largest possible network (2 N_Λ).
+    const int key_bits =
+        util::bitWidthFor(static_cast<std::uint64_t>(2 * network.lambda().numNodes()) + 2);
+    const proto::ConsensusOracleFactory oracle(network.initialValues(),
+                                               key_bits, /*total_rounds=*/10);
+    const ReductionResult result =
+        runConsensusReduction(inst, oracle, rng.u64());
+    EXPECT_TRUE(result.simulation_consistent) << cc::describe(inst);
+    EXPECT_EQ(result.disj_truth, force);
+    // Optimistic oracle always terminates at round 10 < horizon.
+    EXPECT_EQ(result.claimed_disj, 1);
+    // ...but its output is genuinely correct only when DISJ = 1 (validity:
+    // all inputs agree).  With Υ present, agreement is violated.
+    EXPECT_EQ(result.oracle_output_correct, force == 1) << cc::describe(inst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Disj, ConsensusReductionSweep, ::testing::Values(0, 1));
+
+TEST(PartySim, RejectsOutOfOrderRounds) {
+  util::Rng rng(77);
+  const cc::Instance inst = cc::randomInstance(1, 9, rng, 1);
+  const CFloodNetwork network(inst);
+  const proto::RandomBabblerFactory factory(16);
+  PartySim alice(
+      network.numNodes(), network.spoiledFrom(Party::kAlice),
+      [&network](Round r) { return network.partyEdges(Party::kAlice, r); },
+      network.forwardedNodes(Party::kAlice),
+      network.forwardedNodes(Party::kBob), factory, network.numNodes(), 1);
+  alice.computeActions(1);
+  EXPECT_THROW(alice.computeActions(2), util::CheckError);  // missing deliver
+  // Quiet forwards for Bob's specials (B_Γ, B_Λ receive this round).
+  std::vector<Forward> quiet;
+  for (const NodeId v : network.forwardedNodes(Party::kBob)) {
+    quiet.push_back({v, false, {}});
+  }
+  alice.deliver(1, quiet);
+  EXPECT_THROW(alice.deliver(1, quiet), util::CheckError);  // double deliver
+}
+
+TEST(ReductionResult, FigureOneInstanceRunsEndToEnd) {
+  // The paper's own example instance, end to end (tiny horizon of 2).
+  const cc::Instance inst = cc::figure1Instance();
+  const proto::RandomBabblerFactory oracle(16);
+  const ReductionResult result = runCFloodReduction(inst, oracle, 99);
+  EXPECT_TRUE(result.simulation_consistent);
+  EXPECT_EQ(result.disj_truth, 0);
+  EXPECT_EQ(result.horizon, 2);
+}
+
+}  // namespace
+}  // namespace dynet::lb

@@ -1,0 +1,184 @@
+// Tests for graphs, connectivity, and the causal (dynamic) diameter.
+#include <gtest/gtest.h>
+
+#include "net/diameter.h"
+#include "net/graph.h"
+#include "util/check.h"
+
+namespace dynet::net {
+namespace {
+
+TEST(Graph, AdjacencyMatchesEdges) {
+  Graph g(5, {{0, 1}, {1, 2}, {1, 3}});
+  EXPECT_EQ(g.neighbors(1).size(), 3u);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(4).size(), 0u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+}
+
+TEST(Graph, RejectsBadEdges) {
+  EXPECT_THROW(Graph(3, {{0, 3}}), util::CheckError);
+  EXPECT_THROW(Graph(3, {{1, 1}}), util::CheckError);
+  EXPECT_THROW(Graph(0, {}), util::CheckError);
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(Graph(1, {}).connected());
+  EXPECT_FALSE(Graph(2, {}).connected());
+  EXPECT_TRUE(Graph(3, {{0, 1}, {1, 2}}).connected());
+  Graph split(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(split.connected());
+  EXPECT_EQ(split.componentCount(), 2);
+}
+
+TEST(GraphBuilders, Shapes) {
+  EXPECT_TRUE(makePath(6)->connected());
+  EXPECT_EQ(makePath(6)->numEdges(), 5u);
+  EXPECT_TRUE(makeRing(6)->connected());
+  EXPECT_EQ(makeRing(6)->numEdges(), 6u);
+  EXPECT_TRUE(makeStar(6, 2)->connected());
+  EXPECT_EQ(makeStar(6, 2)->neighbors(2).size(), 5u);
+  EXPECT_EQ(makeClique(5)->numEdges(), 10u);
+  auto torus = makeTorus(4, 5);
+  EXPECT_TRUE(torus->connected());
+  EXPECT_EQ(torus->neighbors(0).size(), 4u);
+}
+
+TEST(GraphBuilders, TorusTwoWideHasNoDuplicateEdges) {
+  auto torus = makeTorus(2, 4);
+  for (NodeId v = 0; v < torus->numNodes(); ++v) {
+    auto ns = torus->neighbors(v);
+    std::vector<NodeId> sorted(ns.begin(), ns.end());
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+        << "duplicate neighbor at " << v;
+  }
+}
+
+TopologySeq repeat(GraphPtr g, int rounds) {
+  return TopologySeq(static_cast<std::size_t>(rounds), std::move(g));
+}
+
+TEST(Diameter, StaticPath) {
+  // A static path of n nodes has dynamic diameter n-1.
+  for (const NodeId n : {2, 5, 9}) {
+    const auto topo = repeat(makePath(n), n + 2);
+    EXPECT_EQ(allSourcesEccentricity(topo, 0), n - 1) << "n=" << n;
+  }
+}
+
+TEST(Diameter, StaticStarIsTwo) {
+  const auto topo = repeat(makeStar(8), 5);
+  EXPECT_EQ(allSourcesEccentricity(topo, 0), 2);
+}
+
+TEST(Diameter, StaticCliqueIsOne) {
+  const auto topo = repeat(makeClique(6), 3);
+  EXPECT_EQ(allSourcesEccentricity(topo, 0), 1);
+}
+
+TEST(Diameter, SingleNodeIsZero) {
+  const auto topo = repeat(std::make_shared<Graph>(1, std::vector<Edge>{}), 2);
+  EXPECT_EQ(allSourcesEccentricity(topo, 0), 0);
+}
+
+TEST(Diameter, HorizonTooShortReturnsMinusOne) {
+  const auto topo = repeat(makePath(10), 3);
+  EXPECT_EQ(allSourcesEccentricity(topo, 0), -1);
+  EXPECT_EQ(causalEccentricity(topo, 0, 0), -1);
+}
+
+TEST(Diameter, RotatingStarIsActuallySlow) {
+  // Counter-intuitive but correct: a star whose center moves every round
+  // has causal diameter Θ(n), NOT 2.  The old center loses its adjacency
+  // before it can forward, so influence crawls along the center schedule
+  // (or waits for the source's own center turn).
+  TopologySeq topo;
+  const NodeId n = 9;
+  for (int r = 0; r < 3 * n; ++r) {
+    topo.push_back(makeStar(n, static_cast<NodeId>(r % n)));
+  }
+  const int ecc = allSourcesEccentricity(topo, 0);
+  EXPECT_GE(ecc, n - 1);
+  EXPECT_LE(ecc, n + 1);
+}
+
+TEST(Diameter, AnchoredStarStaysConstant) {
+  // With a permanent hub the dynamic diameter is 2 despite per-round churn.
+  TopologySeq topo;
+  const NodeId n = 9;
+  for (int r = 0; r < 6; ++r) {
+    topo.push_back(makeStar(n, 0));
+  }
+  EXPECT_EQ(allSourcesEccentricity(topo, 0), 2);
+}
+
+TEST(Diameter, CausalEccentricityMatchesAllSources) {
+  const auto topo = repeat(makePath(7), 10);
+  int worst = 0;
+  for (NodeId v = 0; v < 7; ++v) {
+    worst = std::max(worst, causalEccentricity(topo, v, 0));
+  }
+  EXPECT_EQ(worst, allSourcesEccentricity(topo, 0));
+}
+
+TEST(Diameter, DynamicDiameterOverStartRounds) {
+  // Path for 12 rounds, then clique: starting late is faster, so the
+  // diameter over all starts is governed by the earliest start.
+  TopologySeq topo;
+  for (int r = 0; r < 12; ++r) {
+    topo.push_back(makePath(6));
+  }
+  for (int r = 0; r < 12; ++r) {
+    topo.push_back(makeClique(6));
+  }
+  EXPECT_EQ(dynamicDiameter(topo, 3), 5);
+  EXPECT_EQ(allSourcesEccentricity(topo, 12), 1);
+}
+
+TEST(Diameter, TimeDependentEdgeWave) {
+  // Edge i–(i+1) exists only in round i+1.  Influence from node 0 rides the
+  // wave and covers the path in n-1 rounds; node n-1's influence can never
+  // reach node 0 (its edges lie in the past), so its eccentricity is -1
+  // within the horizon.
+  const NodeId n = 5;
+  TopologySeq topo;
+  for (int r = 1; r <= 2 * n; ++r) {
+    std::vector<Edge> edges;
+    if (r <= n - 1) {
+      edges.push_back({static_cast<NodeId>(r - 1), static_cast<NodeId>(r)});
+    } else {
+      edges.push_back({0, 1});  // keep the graph non-empty
+    }
+    topo.push_back(std::make_shared<Graph>(n, std::move(edges)));
+  }
+  EXPECT_EQ(causalEccentricity(topo, 0, 0), n - 1);
+  EXPECT_EQ(causalEccentricity(topo, n - 1, 0), -1);
+}
+
+TEST(CausalReach, BudgetRespected) {
+  const auto topo = repeat(makePath(8), 10);
+  const auto bits = causalReach(topo, 0, 0, 3);
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(bitmapTest(bits, v), v <= 3) << "v=" << v;
+  }
+}
+
+TEST(CausalReach, StartRoundOffset) {
+  // Clique in round 1, then empty-ish path: starting at round 1 (0-based
+  // start_round=1) sees only the later graphs.
+  TopologySeq topo;
+  topo.push_back(makeClique(4));
+  topo.push_back(makePath(4));
+  topo.push_back(makePath(4));
+  const auto from0 = causalReach(topo, 0, 0, 1);
+  EXPECT_TRUE(bitmapTest(from0, 3));
+  const auto from1 = causalReach(topo, 0, 1, 1);
+  EXPECT_FALSE(bitmapTest(from1, 3));
+  EXPECT_TRUE(bitmapTest(from1, 1));
+}
+
+}  // namespace
+}  // namespace dynet::net

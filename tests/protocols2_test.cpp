@@ -1,0 +1,233 @@
+// Tests for the second protocol wave: diameter estimation (static
+// soundness + dynamic bait-and-switch) and k-token gossip.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/dynamic_adversaries.h"
+#include "adversary/static_adversaries.h"
+#include "protocols/diameter_estimate.h"
+#include "protocols/gossip.h"
+#include "sim/engine.h"
+
+namespace dynet::proto {
+namespace {
+
+using sim::NodeId;
+using sim::Round;
+
+// --- Diameter estimation ---
+
+TEST(DiameterEstimateSchedule, StagesPartition) {
+  DiameterEstimateConfig config;
+  config.n = 100;
+  DiameterEstimateSchedule schedule(config);
+  Round r = 1;
+  for (int phase = 0; phase < 4; ++phase) {
+    for (Round off = 0; off < schedule.floodLen(phase); ++off, ++r) {
+      const auto pos = schedule.locate(r);
+      ASSERT_EQ(pos.phase, phase);
+      ASSERT_EQ(pos.stage, 0);
+      ASSERT_EQ(pos.offset, off);
+    }
+    for (Round off = 0; off < schedule.countLen(phase); ++off, ++r) {
+      const auto pos = schedule.locate(r);
+      ASSERT_EQ(pos.phase, phase);
+      ASSERT_EQ(pos.stage, 1);
+      ASSERT_EQ(pos.offset, off);
+    }
+  }
+  EXPECT_EQ(schedule.cumulativeFlood(3), 1 + 2 + 4 + 8);
+}
+
+struct EstimateOutcome {
+  std::uint64_t dhat = 0;
+  Round rounds = 0;
+  bool all_agree = true;
+};
+
+EstimateOutcome runEstimator(net::GraphPtr graph, std::uint64_t seed) {
+  const NodeId n = graph->numNodes();
+  DiameterEstimateConfig config;
+  config.n = n;
+  DiameterEstimateFactory factory(config, seed);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig engine_config;
+  engine_config.max_rounds = 10'000'000;
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::StaticAdversary>(graph),
+                     engine_config, seed);
+  const auto result = engine.run();
+  EstimateOutcome outcome;
+  if (result.all_done) {
+    outcome.dhat = engine.process(0).output();
+    outcome.rounds = result.all_done_round;
+    for (NodeId v = 0; v < n; ++v) {
+      outcome.all_agree =
+          outcome.all_agree && engine.process(v).output() == outcome.dhat;
+    }
+  }
+  return outcome;
+}
+
+class StaticEstimateSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(StaticEstimateSweep, EstimateWithinDoublingFactor) {
+  const auto [shape, n] = GetParam();
+  net::GraphPtr graph;
+  if (std::string(shape) == "path") {
+    graph = net::makePath(static_cast<NodeId>(n));
+  } else if (std::string(shape) == "ring") {
+    graph = net::makeRing(static_cast<NodeId>(n));
+  } else {
+    graph = net::makeStar(static_cast<NodeId>(n));
+  }
+  const int ecc = net::causalEccentricity(
+      net::TopologySeq(static_cast<std::size_t>(3 * n), graph), 0, 0);
+  const EstimateOutcome outcome = runEstimator(graph, 5);
+  ASSERT_GT(outcome.dhat, 0u) << shape;
+  EXPECT_TRUE(outcome.all_agree);
+  // Doubling windows + the (1-eps) count threshold: D-hat in [0.8 ecc, 4 ecc].
+  EXPECT_GE(static_cast<double>(outcome.dhat), 0.8 * ecc) << shape;
+  EXPECT_LE(static_cast<double>(outcome.dhat), 4.0 * ecc + 4) << shape;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, StaticEstimateSweep,
+                         ::testing::Combine(::testing::Values("path", "ring",
+                                                              "star"),
+                                            ::testing::Values(16, 48)));
+
+TEST(DiameterEstimate, FactoryValidatesN) {
+  DiameterEstimateConfig config;
+  config.n = 10;
+  DiameterEstimateFactory factory(config, 1);
+  EXPECT_THROW(factory.create(0, 12), util::CheckError);
+}
+
+TEST(DiameterEstimate, PastOnlyGuarantee) {
+  // The estimate is about the past: a clique-then-path adversary yields a
+  // tiny D-hat although the execution's overall dynamic diameter is Θ(N).
+  const NodeId n = 32;
+  class Switcher : public sim::Adversary {
+   public:
+    explicit Switcher(NodeId n, Round switch_round)
+        : n_(n), switch_round_(switch_round) {}
+    net::GraphPtr topology(Round r, const sim::RoundObservation&) override {
+      return r < switch_round_ ? net::makeClique(n_) : net::makePath(n_);
+    }
+    NodeId numNodes() const override { return n_; }
+
+   private:
+    NodeId n_;
+    Round switch_round_;
+  };
+  DiameterEstimateConfig config;
+  config.n = n;
+  DiameterEstimateFactory factory(config, 3);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig engine_config;
+  engine_config.max_rounds = 1'000'000;
+  // Switch far after the declaration (declaration lands within ~3k rounds).
+  sim::Engine engine(std::move(ps), std::make_unique<Switcher>(n, 100'000),
+                     engine_config, 3);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_LE(engine.process(0).output(), 4u);  // clique past: tiny estimate
+  // The estimate says nothing about the post-switch epoch, whose diameter
+  // is n-1 — bench_static_vs_dynamic quantifies the resulting CFLOOD
+  // failure.
+}
+
+// --- Gossip ---
+
+TEST(Gossip, TokensFitBudgetAndSpread) {
+  const NodeId n = 40;
+  const int k = 8;
+  const Round budget = gossipRounds(k, 8, n);
+  GossipFactory factory(k, budget);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = budget + 1;
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::RandomTreeAdversary>(n, 4), config, 4);
+  const auto result = engine.run();
+  ASSERT_TRUE(result.all_done);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto* p = dynamic_cast<const GossipProcess*>(&engine.process(v));
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(p->hasAll()) << v;
+    EXPECT_GT(p->completeRound(), 0) << v;
+  }
+}
+
+TEST(Gossip, MoreTokensTakeLonger) {
+  const NodeId n = 48;
+  auto completion = [&](int k) {
+    const Round budget = gossipRounds(k, 8, n);
+    GossipFactory factory(k, budget);
+    std::vector<std::unique_ptr<sim::Process>> ps;
+    for (NodeId v = 0; v < n; ++v) {
+      ps.push_back(factory.create(v, n));
+    }
+    sim::EngineConfig config;
+    config.max_rounds = budget + 1;
+    sim::Engine engine(std::move(ps),
+                       std::make_unique<adv::RandomTreeAdversary>(n, 9), config,
+                       9);
+    engine.run();
+    Round worst = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto* p = dynamic_cast<const GossipProcess*>(&engine.process(v));
+      worst = std::max(worst, p->completeRound());
+    }
+    return worst;
+  };
+  EXPECT_LT(completion(2), completion(32));
+}
+
+TEST(Gossip, InitialAssignmentWrapsModuloN) {
+  // k > N: node 0 starts with tokens {0, N, 2N, ...}.
+  GossipFactory factory(/*total_tokens=*/10, /*total_rounds=*/5);
+  auto p = factory.create(0, 4);
+  const auto* gp = dynamic_cast<const GossipProcess*>(p.get());
+  ASSERT_NE(gp, nullptr);
+  EXPECT_EQ(gp->heldCount(), 3);  // tokens 0, 4, 8
+}
+
+TEST(Gossip, SingleTokenEqualsFlooding) {
+  // k = 1 degenerates to token flooding; completion within a small budget.
+  const NodeId n = 32;
+  const Round budget = gossipRounds(1, 6, n);
+  GossipFactory factory(1, budget);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = budget + 1;
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::ShufflePathAdversary>(n, 2), config, 2);
+  engine.run();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto* p = dynamic_cast<const GossipProcess*>(&engine.process(v));
+    EXPECT_TRUE(p->hasAll());
+  }
+}
+
+TEST(Gossip, RejectsBadTokens) {
+  EXPECT_THROW(GossipProcess({5}, 3, 10), util::CheckError);
+  EXPECT_THROW(GossipProcess({-1}, 3, 10), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dynet::proto

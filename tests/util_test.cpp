@@ -1,0 +1,307 @@
+// Unit tests for util: bit I/O, RNG/coin streams, stats, tables, CLI,
+// thread pool, check macro.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace dynet::util {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    DYNET_CHECK(1 == 2) << "context " << 42;
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  DYNET_CHECK(true) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(BitWidth, Basics) {
+  EXPECT_EQ(bitWidthFor(1), 1);
+  EXPECT_EQ(bitWidthFor(2), 1);
+  EXPECT_EQ(bitWidthFor(3), 2);
+  EXPECT_EQ(bitWidthFor(4), 2);
+  EXPECT_EQ(bitWidthFor(5), 3);
+  EXPECT_EQ(bitWidthFor(1024), 10);
+  EXPECT_EQ(bitWidthFor(1025), 11);
+}
+
+class BitIoRoundtrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitIoRoundtrip, WriteReadMatchesAtEveryWidth) {
+  const int width = GetParam();
+  Rng rng(static_cast<std::uint64_t>(width) * 77);
+  std::vector<std::uint64_t> words(8, 0);
+  std::vector<std::uint64_t> values;
+  BitWriter writer(words, 512);
+  int budget = 512;
+  while (budget >= width) {
+    std::uint64_t v = rng.u64();
+    if (width < 64) {
+      v &= (std::uint64_t{1} << width) - 1;
+    }
+    writer.put(v, width);
+    values.push_back(v);
+    budget -= width;
+  }
+  BitReader reader(words, writer.bitsWritten());
+  for (const std::uint64_t v : values) {
+    EXPECT_EQ(reader.get(width), v);
+  }
+  EXPECT_EQ(reader.bitsRemaining(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitIoRoundtrip,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 13, 16, 17, 31,
+                                           32, 33, 48, 63, 64));
+
+TEST(BitIo, MixedWidthSequence) {
+  std::vector<std::uint64_t> words(4, 0);
+  BitWriter writer(words, 256);
+  writer.put(1, 1);
+  writer.put(0x2a, 6);
+  writer.put(0xdeadbeef, 32);
+  writer.put(0, 3);
+  writer.put(0x1ffff, 17);
+  BitReader reader(words, writer.bitsWritten());
+  EXPECT_EQ(reader.get(1), 1u);
+  EXPECT_EQ(reader.get(6), 0x2au);
+  EXPECT_EQ(reader.get(32), 0xdeadbeefu);
+  EXPECT_EQ(reader.get(3), 0u);
+  EXPECT_EQ(reader.get(17), 0x1ffffu);
+}
+
+TEST(BitIo, BudgetEnforced) {
+  std::vector<std::uint64_t> words(4, 0);
+  BitWriter writer(words, 10);
+  writer.put(0x3ff, 10);
+  EXPECT_THROW(writer.put(1, 1), CheckError);
+}
+
+TEST(BitIo, ValueWiderThanFieldRejected) {
+  std::vector<std::uint64_t> words(4, 0);
+  BitWriter writer(words, 64);
+  EXPECT_THROW(writer.put(4, 2), CheckError);
+}
+
+TEST(BitIo, ReadPastEndRejected) {
+  std::vector<std::uint64_t> words(4, 0);
+  BitReader reader(words, 8);
+  reader.get(8);
+  EXPECT_THROW(reader.get(1), CheckError);
+}
+
+TEST(Real16, ZeroRoundtrips) {
+  EXPECT_EQ(encodeReal16(0.0), 0);
+  EXPECT_EQ(decodeReal16(0), 0.0);
+}
+
+TEST(Real16, RelativeErrorSmall) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::exp((rng.real() - 0.5) * 60.0);
+    const double back = decodeReal16(encodeReal16(x));
+    EXPECT_NEAR(back / x, 1.0, 0.004) << "x=" << x;
+  }
+}
+
+TEST(Real16, Monotone) {
+  double prev = 0.0;
+  for (int i = 0; i < 65536; i += 17) {
+    const double v = decodeReal16(static_cast<std::uint16_t>(i));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_same = true;
+  bool any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.u64();
+    all_same = all_same && (va == b.u64());
+    any_diff_c = any_diff_c || (va != c.u64());
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, BelowInRangeAndRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> buckets(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[static_cast<std::size_t>(v)];
+  }
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, 10000, 600);
+  }
+}
+
+TEST(Rng, ExponentialMeanOne) {
+  Rng rng(5);
+  double sum = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const double e = rng.exponential();
+    ASSERT_GT(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 0.02);
+}
+
+TEST(CoinStream, PureFunctionOfAddress) {
+  CoinStream a(42, 7, 3);
+  CoinStream b(42, 7, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.u64(), b.u64());
+  }
+}
+
+TEST(CoinStream, DistinctAcrossNodesAndRounds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t node = 0; node < 20; ++node) {
+    for (std::uint64_t round = 1; round <= 20; ++round) {
+      CoinStream s(42, node, round);
+      seen.insert(s.u64());
+    }
+  }
+  EXPECT_EQ(seen.size(), 400u);
+}
+
+TEST(CoinStream, CoinRoughlyFair) {
+  int heads = 0;
+  for (std::uint64_t r = 1; r <= 20000; ++r) {
+    CoinStream s(1, 0, r);
+    heads += s.coin() ? 1 : 0;
+  }
+  EXPECT_NEAR(heads, 10000, 400);
+}
+
+TEST(PrivateSeed, DistinctPerNode) {
+  EXPECT_NE(privateSeed(9, 1), privateSeed(9, 2));
+  EXPECT_NE(privateSeed(9, 1), privateSeed(10, 1));
+  EXPECT_EQ(privateSeed(9, 1), privateSeed(9, 1));
+}
+
+TEST(Summary, Moments) {
+  Summary s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 2.0);
+}
+
+TEST(Summary, EmptyRejected) {
+  Summary s;
+  EXPECT_THROW(s.mean(), CheckError);
+  EXPECT_THROW(s.percentile(0.5), CheckError);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{42});
+  t.row().cell("b").cell(3.14159, 2);
+  const std::string out = t.toString();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  // All lines equal length.
+  std::istringstream in(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(in, line)) {
+    if (len == 0) {
+      len = line.size();
+    }
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, TooManyCellsRejected) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), CheckError);
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4.5", "--gamma"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.integer("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.real("beta", 0), 4.5);
+  EXPECT_TRUE(cli.flag("gamma"));
+  EXPECT_EQ(cli.integer("missing", 7), 7);
+  cli.rejectUnknown();
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_THROW(cli.rejectUnknown(), CheckError);
+}
+
+TEST(ThreadPool, RunsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallelFor(100,
+                                [](std::size_t i) {
+                                  if (i == 57) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 20; ++batch) {
+    std::atomic<int> count{0};
+    pool.parallelFor(batch + 1, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), batch + 1);
+  }
+}
+
+TEST(ThreadPool, ZeroItemsNoop) {
+  ThreadPool pool(2);
+  pool.parallelFor(0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dynet::util

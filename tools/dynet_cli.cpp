@@ -1,0 +1,192 @@
+// dynet_cli — run any bundled protocol against any bundled adversary from
+// the command line; print metrics and (optionally) dump the full trace.
+//
+//   $ dynet_cli --protocol leader_unknown_d --adversary random_tree \
+//               --nodes 64 --seed 7 [--trace out.trace] [--max-rounds M]
+//
+// Protocols:  flood | cflood | leader_known_d | consensus_known_d |
+//             count | hear_from_n | leader_unknown_d | consensus_unknown_d
+// Adversaries: static_path | static_star | static_ring | static_torus |
+//              random_tree | anchored_star | rotating_star | shuffle_path |
+//              interval | edge_churn | gnp | dual_ring
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "adversary/churn_adversaries.h"
+#include "adversary/dual_graph.h"
+#include "adversary/dynamic_adversaries.h"
+#include "adversary/static_adversaries.h"
+#include "net/churn.h"
+#include "net/diameter.h"
+#include "protocols/cflood.h"
+#include "protocols/consensus_known_d.h"
+#include "protocols/consensus_via_leader.h"
+#include "protocols/counting.h"
+#include "protocols/flood.h"
+#include "protocols/hear_from_n.h"
+#include "protocols/leader_unknown_d.h"
+#include "protocols/max_flood.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace dynet {
+namespace {
+
+std::unique_ptr<sim::Adversary> makeAdversary(const std::string& name,
+                                              sim::NodeId n, std::uint64_t seed,
+                                              const util::Cli& cli) {
+  if (name == "static_path") {
+    return std::make_unique<adv::StaticAdversary>(net::makePath(n));
+  }
+  if (name == "static_star") {
+    return std::make_unique<adv::StaticAdversary>(net::makeStar(n));
+  }
+  if (name == "static_ring") {
+    return std::make_unique<adv::StaticAdversary>(net::makeRing(n));
+  }
+  if (name == "static_torus") {
+    const auto side = static_cast<sim::NodeId>(std::sqrt(static_cast<double>(n)));
+    DYNET_CHECK(side * side == n) << "--nodes must be a square for a torus";
+    return std::make_unique<adv::StaticAdversary>(net::makeTorus(side, side));
+  }
+  if (name == "random_tree") {
+    return std::make_unique<adv::RandomTreeAdversary>(n, seed);
+  }
+  if (name == "anchored_star") {
+    return std::make_unique<adv::AnchoredStarAdversary>(n, seed);
+  }
+  if (name == "rotating_star") {
+    return std::make_unique<adv::RotatingStarAdversary>(n);
+  }
+  if (name == "shuffle_path") {
+    return std::make_unique<adv::ShufflePathAdversary>(n, seed);
+  }
+  if (name == "interval") {
+    return std::make_unique<adv::IntervalAdversary>(
+        n, static_cast<sim::Round>(cli.integer("interval", 8)), seed);
+  }
+  if (name == "edge_churn") {
+    return std::make_unique<adv::EdgeChurnAdversary>(
+        n, static_cast<int>(cli.integer("churn", 2)), seed);
+  }
+  if (name == "gnp") {
+    return std::make_unique<adv::RandomGraphAdversary>(
+        n, cli.real("p", 0.02), seed);
+  }
+  if (name == "dual_ring") {
+    return adv::makeRingWithChords(n, adv::DualGraphPolicy::kRandom,
+                                   cli.real("p", 0.5), seed);
+  }
+  std::cerr << "unknown adversary '" << name << "'\n";
+  std::exit(2);
+}
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string protocol = cli.str("protocol", "leader_unknown_d");
+  const std::string adversary_name = cli.str("adversary", "random_tree");
+  const auto n = static_cast<sim::NodeId>(cli.integer("nodes", 64));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
+  const int diameter = static_cast<int>(cli.integer("diameter", 8));
+  const std::string trace_path = cli.str("trace", "");
+  const auto max_rounds =
+      static_cast<sim::Round>(cli.integer("max-rounds", 20'000'000));
+
+  std::unique_ptr<sim::ProcessFactory> factory;
+  if (protocol == "flood") {
+    factory = std::make_unique<proto::FloodFactory>(
+        0, 0x2a, 8, proto::FloodMode::kDeterministic, 0);
+  } else if (protocol == "cflood") {
+    factory = std::make_unique<proto::CFloodFactory>(
+        0, 0x2a, 8, proto::FloodMode::kDeterministic, diameter);
+  } else if (protocol == "leader_known_d") {
+    factory = std::make_unique<proto::LeaderKnownDFactory>(diameter);
+  } else if (protocol == "consensus_known_d") {
+    std::vector<std::uint64_t> inputs;
+    for (sim::NodeId v = 0; v < n; ++v) {
+      inputs.push_back(static_cast<std::uint64_t>(v % 2));
+    }
+    factory = std::make_unique<proto::ConsensusKnownDFactory>(inputs, diameter);
+  } else if (protocol == "count") {
+    const int k = static_cast<int>(cli.integer("k", 128));
+    factory = std::make_unique<proto::CountingFactory>(
+        k, proto::countingRounds(k, diameter, n, 3), seed);
+  } else if (protocol == "hear_from_n") {
+    const int k = static_cast<int>(cli.integer("k", 128));
+    factory = std::make_unique<proto::HearFromNFactory>(
+        k, proto::countingRounds(k, diameter, n, 3), seed, 0.25);
+  } else if (protocol == "leader_unknown_d" ||
+             protocol == "consensus_unknown_d") {
+    proto::LeaderConfig config;
+    config.n_estimate = cli.real("n-estimate", 1.1 * n);
+    config.c = cli.real("c", 0.25);
+    config.k = static_cast<int>(cli.integer("k", 64));
+    if (protocol == "consensus_unknown_d") {
+      std::vector<std::uint64_t> inputs;
+      for (sim::NodeId v = 0; v < n; ++v) {
+        inputs.push_back(static_cast<std::uint64_t>(v % 2));
+      }
+      factory = std::make_unique<proto::ConsensusViaLeaderFactory>(
+          config, seed, std::move(inputs));
+    } else {
+      factory = std::make_unique<proto::LeaderElectFactory>(config, seed);
+    }
+  } else {
+    std::cerr << "unknown protocol '" << protocol << "'\n";
+    return 2;
+  }
+  auto adversary = makeAdversary(adversary_name, n, seed, cli);
+  cli.rejectUnknown();
+
+  std::vector<std::unique_ptr<sim::Process>> processes;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    processes.push_back(factory->create(v, n));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = max_rounds;
+  config.record_topologies = true;
+  config.record_actions = !trace_path.empty();
+  sim::Engine engine(std::move(processes), std::move(adversary), config, seed);
+  const auto result = engine.run();
+
+  util::Table table({"metric", "value"});
+  table.row().cell("protocol").cell(protocol);
+  table.row().cell("adversary").cell(adversary_name);
+  table.row().cell("nodes").cell(static_cast<std::int64_t>(n));
+  table.row().cell("all done").cell(result.all_done ? "yes" : "no");
+  table.row().cell("rounds").cell(static_cast<std::int64_t>(result.all_done_round));
+  table.row().cell("messages").cell(result.messages_sent);
+  table.row().cell("bits").cell(result.bits_sent);
+  const int max_start = std::max(
+      0, std::min<int>(8, static_cast<int>(engine.topologies().size()) - n));
+  const int realized = net::dynamicDiameter(engine.topologies(), max_start);
+  table.row().cell("realized diameter").cell(realized);
+  if (realized > 0 && result.all_done_round > 0) {
+    table.row().cell("flooding rounds").cell(
+        static_cast<double>(result.all_done_round) / realized, 2);
+  }
+  if (engine.topologies().size() >= 2) {
+    table.row().cell("mean edge Jaccard").cell(
+        net::meanConsecutiveJaccard(engine.topologies()), 3);
+  }
+  if (result.all_done && n > 0) {
+    table.row().cell("output[node 0]").cell(engine.process(0).output());
+  }
+  std::cout << table.toString();
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    DYNET_CHECK(out.good()) << "cannot open " << trace_path;
+    sim::writeTrace(out, sim::traceFromEngine(engine));
+    std::cout << "trace written to " << trace_path << "\n";
+  }
+  return result.all_done ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dynet
+
+int main(int argc, char** argv) { return dynet::run(argc, argv); }
