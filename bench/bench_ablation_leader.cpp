@@ -75,13 +75,16 @@ Outcome runCase(const std::string& adv_name, NodeId n, bool skip_precount,
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const int trials = static_cast<int>(cli.integer("trials", 3));
+  const bool quick = bench::quickMode(cli);
+  const int trials = static_cast<int>(cli.integer("trials", quick ? 2 : 3));
   cli.rejectUnknown();
   std::cout << "Ablation A2 — §7 stage-B pre-count vs direct locking\n\n";
   util::Table table({"adversary", "N", "pre-count", "lock attempts", "unlocks",
                      "rounds", "success"});
   for (const std::string adv_name : {"static_ring", "static_path", "shuffle_path"}) {
-    for (const NodeId n : {32, 96}) {
+    const std::vector<NodeId> sizes =
+        quick ? std::vector<NodeId>{32} : std::vector<NodeId>{32, 96};
+    for (const NodeId n : sizes) {
       if (adv_name == "static_path" && n > 32) {
         continue;  // Θ(N)-diameter runs get long; the shape shows at 32
       }

@@ -72,7 +72,8 @@ ChurnPoint measure(NodeId n, const MakeAdv& make, std::uint64_t seed) {
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const auto n = static_cast<NodeId>(cli.integer("nodes", 128));
+  const bool quick = bench::quickMode(cli);
+  const auto n = static_cast<NodeId>(cli.integer("nodes", quick ? 64 : 128));
   cli.rejectUnknown();
   std::cout << "Churn sweep — known-D LEADERELECT across the churn spectrum "
                "(N = " << n << ")\n\n";

@@ -11,7 +11,21 @@
 #include "net/diameter.h"
 #include "sim/engine.h"
 
+#include "util/cli.h"
+
 namespace dynet::bench {
+
+/// The --quick contract: every bench binary accepts --quick and finishes in
+/// seconds under it (reduced trials / sweep points), because
+/// scripts/check.sh and CI run `bench --quick` as a smoke test and treat
+/// any non-zero exit as fatal.  Parse the flag through this helper so the
+/// contract is greppable:
+///
+///   util::Cli cli(argc, argv);
+///   const bool quick = bench::quickMode(cli);
+///
+/// then pick sizes with `quick ? small : full`.
+inline bool quickMode(const util::Cli& cli) { return cli.flag("quick"); }
 
 inline std::unique_ptr<sim::Adversary> makeAdversary(const std::string& name,
                                                      sim::NodeId n,

@@ -19,7 +19,8 @@ namespace {
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const int trials = static_cast<int>(cli.integer("trials", 20));
+  const bool quick = cli.flag("quick");
+  const int trials = static_cast<int>(cli.integer("trials", quick ? 5 : 20));
   cli.rejectUnknown();
 
   std::cout << "E8 — DISJOINTNESSCP communication (Theorem 1 from [4])\n\n";
@@ -27,7 +28,10 @@ int run(int argc, char** argv) {
     util::Table table({"n", "q", "LB formula n/q^2 - log n", "send-all bits",
                        "zero-positions bits (mean)", "correct"});
     util::Rng rng(11);
-    for (const int n : {1 << 10, 1 << 14, 1 << 18}) {
+    const std::vector<int> ns = quick
+                                    ? std::vector<int>{1 << 10, 1 << 14}
+                                    : std::vector<int>{1 << 10, 1 << 14, 1 << 18};
+    for (const int n : ns) {
       for (const int q : {3, 9, 33, 129}) {
         util::Summary zero_bits;
         bool correct = true;

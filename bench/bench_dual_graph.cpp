@@ -44,12 +44,16 @@ int measuredDualDiameter(NodeId n, DualGraphPolicy policy, double p,
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  const bool quick = bench::quickMode(cli);
   cli.rejectUnknown();
   std::cout << "Dual graph model — reliable ring + unreliable chords\n\n";
 
   util::Table table({"N", "policy", "realized D", "LEADERELECT rounds",
                      "flooding rounds", "success"});
-  for (const NodeId n : {96, 384, 1536}) {
+  const std::vector<NodeId> sizes = quick
+                                        ? std::vector<NodeId>{96, 384}
+                                        : std::vector<NodeId>{96, 384, 1536};
+  for (const NodeId n : sizes) {
   struct Case {
     const char* name;
     DualGraphPolicy policy;

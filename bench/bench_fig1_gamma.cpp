@@ -40,7 +40,10 @@ std::string chainPicture(bool top_edge, bool bottom_edge) {
   return s;
 }
 
-int run() {
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bench::quickMode(cli);  // deterministic and instant either way
+  cli.rejectUnknown();
   const cc::Instance inst = cc::figure1Instance();
   std::cout << "Figure 1 reproduction — type-Γ subnetwork, "
             << cc::describe(inst) << "\n"
@@ -103,4 +106,4 @@ int run() {
 }  // namespace
 }  // namespace dynet
 
-int main() { return dynet::run(); }
+int main(int argc, char** argv) { return dynet::run(argc, argv); }

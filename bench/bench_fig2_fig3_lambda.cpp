@@ -59,7 +59,10 @@ void renderCentipede(const LambdaNet& net, bool middles_sending, Round rounds) {
   std::cout << table.toString();
 }
 
-int run() {
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bench::quickMode(cli);  // deterministic and instant either way
+  cli.rejectUnknown();
   int failures = 0;
   auto expect = [&failures](bool cond, const char* what) {
     std::cout << (cond ? "  [ok] " : "  [FAIL] ") << what << "\n";
@@ -127,4 +130,4 @@ int run() {
 }  // namespace
 }  // namespace dynet
 
-int main() { return dynet::run(); }
+int main(int argc, char** argv) { return dynet::run(argc, argv); }

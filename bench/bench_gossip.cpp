@@ -23,16 +23,21 @@ using sim::Round;
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  const int trials = static_cast<int>(cli.integer("trials", 3));
+  const bool quick = bench::quickMode(cli);
+  const int trials = static_cast<int>(cli.integer("trials", quick ? 2 : 3));
   cli.rejectUnknown();
   std::cout << "k-token gossip — completion vs known-D budget vs pessimistic "
                "D := N budget\n\n";
   util::Table table({"adversary", "N", "k", "completed@ (mean)",
                      "budget(D)", "budget(N)", "pessimistic waste", "success"});
   for (const std::string adv_name : {"random_tree", "anchored_star", "interval"}) {
-    for (const NodeId n : {64, 256}) {
+    const std::vector<NodeId> sizes =
+        quick ? std::vector<NodeId>{64} : std::vector<NodeId>{64, 256};
+    const std::vector<int> ks =
+        quick ? std::vector<int>{4, 16} : std::vector<int>{4, 16, 64};
+    for (const NodeId n : sizes) {
       const int diameter = bench::measuredDiameter(adv_name, n, 3);
-      for (const int k : {4, 16, 64}) {
+      for (const int k : ks) {
         const Round budget_d = proto::gossipRounds(k, diameter, n);
         const Round budget_n = proto::gossipRounds(k, n, n);
         auto summary = sim::runTrials(trials, 600 + n + k, [&](std::uint64_t seed) {

@@ -3,6 +3,9 @@
 // Γ/Λ adversary edge generation that dominates reduction runs.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "bench_common.h"
 #include "cc/disjointness_cp.h"
 #include "lowerbound/composition.h"
@@ -84,4 +87,29 @@ BENCHMARK(BM_GammaLambdaTopology)->Arg(61)->Arg(241);
 }  // namespace
 }  // namespace dynet
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags
+// it does not know, but scripts/check.sh runs every bench with --quick.
+// Translate --quick into a short --benchmark_min_time before Initialize.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool quick = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.02";
+  if (quick) {
+    args.push_back(min_time);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

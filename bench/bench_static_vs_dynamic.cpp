@@ -48,6 +48,7 @@ class BaitAndSwitchAdversary : public sim::Adversary {
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  const bool quick = bench::quickMode(cli);
   cli.rejectUnknown();
 
   std::cout << "E-INTRO — static vs dynamic sensitivity (paper §1 framing)\n\n"
@@ -101,7 +102,9 @@ int run(int argc, char** argv) {
     util::Table table({"N", "D-hat (declared)", "declared at round",
                        "future diameter", "CFLOOD trusting D-hat: holders",
                        "output correct"});
-    for (const NodeId n : {64, 128}) {
+    const std::vector<NodeId> sizes =
+        quick ? std::vector<NodeId>{64} : std::vector<NodeId>{64, 128};
+    for (const NodeId n : sizes) {
       // 1. Run the estimator against the bait-and-switch; the adversary
       //    switches right after the declaration (worst case: we first find
       //    the declaration round against a pure clique).

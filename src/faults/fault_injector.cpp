@@ -1,0 +1,31 @@
+#include "faults/fault_injector.h"
+
+#include "util/check.h"
+
+namespace dynet::faults {
+
+FaultInjector::FaultInjector(FaultPlan plan, const sim::ProcessFactory* factory)
+    : plan_(std::move(plan)), factory_(factory) {
+  if (plan_.hasRestarts()) {
+    DYNET_CHECK(factory_ != nullptr)
+        << "restart schedule needs a ProcessFactory to reset node state";
+  }
+}
+
+std::unique_ptr<sim::Process> FaultInjector::freshProcess(
+    sim::NodeId v, sim::NodeId num_nodes) const {
+  DYNET_CHECK(factory_ != nullptr) << "no factory for restart of node " << v;
+  return factory_->create(v, num_nodes);
+}
+
+sim::Message FaultInjector::corrupted(const sim::Message& msg,
+                                      sim::NodeId sender, sim::NodeId receiver,
+                                      sim::Round round) const {
+  if (msg.bitSize() == 0) {
+    return msg;  // nothing to flip in an empty payload
+  }
+  return msg.withBitFlipped(
+      plan_.corruptBitIndex(sender, receiver, round, msg.bitSize()));
+}
+
+}  // namespace dynet::faults

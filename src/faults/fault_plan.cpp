@@ -1,0 +1,156 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dynet::faults {
+
+namespace {
+// Domain-separation salts so the drop, corruption, and bit-position streams
+// never alias each other (or the engine's coin streams).
+constexpr std::uint64_t kCrashSalt = 0xc7a5'11fd'0b5e'd00dULL;
+constexpr std::uint64_t kDropSalt = 0xd20b'9e3c'55aa'71c3ULL;
+constexpr std::uint64_t kCorruptSalt = 0xc022'0f1e'8d4b'a9e7ULL;
+constexpr std::uint64_t kBitSalt = 0xb17f'11b2'3c6d'5e01ULL;
+
+std::uint64_t deliveryKey(std::uint64_t salt, std::uint64_t seed,
+                          sim::NodeId sender, sim::NodeId receiver,
+                          sim::Round round) {
+  std::uint64_t key = util::hashCombine(seed ^ salt,
+                                        static_cast<std::uint64_t>(sender));
+  key = util::hashCombine(key, static_cast<std::uint64_t>(receiver));
+  return util::hashCombine(key, static_cast<std::uint64_t>(round));
+}
+
+double keyToReal(std::uint64_t key) {
+  return static_cast<double>(util::mix64(key) >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+FaultPlan::FaultPlan(sim::NodeId num_nodes, const FaultConfig& config,
+                     std::uint64_t seed)
+    : n_(num_nodes), config_(config), seed_(seed) {
+  DYNET_CHECK(n_ >= 1) << "num_nodes=" << n_;
+  DYNET_CHECK(config_.crash_fraction >= 0 && config_.crash_fraction <= 1)
+      << "crash_fraction=" << config_.crash_fraction;
+  DYNET_CHECK(config_.drop_prob >= 0 && config_.drop_prob <= 1)
+      << "drop_prob=" << config_.drop_prob;
+  DYNET_CHECK(config_.corrupt_prob >= 0 && config_.corrupt_prob <= 1)
+      << "corrupt_prob=" << config_.corrupt_prob;
+  crash_round_.assign(static_cast<std::size_t>(n_), 0);
+  restart_round_.assign(static_cast<std::size_t>(n_), 0);
+  num_crash_targets_ = static_cast<sim::NodeId>(
+      std::floor(config_.crash_fraction * static_cast<double>(n_)));
+  if (num_crash_targets_ > 0) {
+    drawRandomCrashes();
+  }
+  for (const auto& [v, r] : config_.scripted_crashes) {
+    DYNET_CHECK(v >= 0 && v < n_) << "scripted crash node " << v;
+    DYNET_CHECK(r >= 1) << "scripted crash round " << r;
+    if (crash_round_[static_cast<std::size_t>(v)] == 0) {
+      ++num_crash_targets_;
+    }
+    crash_round_[static_cast<std::size_t>(v)] = r;
+    restart_round_[static_cast<std::size_t>(v)] = 0;
+  }
+  for (const auto& [v, r] : config_.scripted_restarts) {
+    DYNET_CHECK(v >= 0 && v < n_) << "scripted restart node " << v;
+    const sim::Round crash = crash_round_[static_cast<std::size_t>(v)];
+    DYNET_CHECK(crash >= 1 && r > crash)
+        << "scripted restart of node " << v << " at round " << r
+        << " needs an earlier crash (crash round " << crash << ")";
+    restart_round_[static_cast<std::size_t>(v)] = r;
+  }
+}
+
+void FaultPlan::drawRandomCrashes() {
+  DYNET_CHECK(config_.crash_window >= 1)
+      << "crash_window=" << config_.crash_window << " with crashes scheduled";
+  DYNET_CHECK(!config_.restart || config_.restart_downtime >= 1)
+      << "restart_downtime=" << config_.restart_downtime;
+  // Partial Fisher-Yates over node ids picks the targets uniformly without
+  // replacement; rounds come from the same sequential stream.
+  util::Rng rng(util::hashCombine(seed_, kCrashSalt));
+  std::vector<sim::NodeId> ids(static_cast<std::size_t>(n_));
+  for (sim::NodeId v = 0; v < n_; ++v) {
+    ids[static_cast<std::size_t>(v)] = v;
+  }
+  for (sim::NodeId i = 0; i < num_crash_targets_; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.between(i, static_cast<std::int64_t>(n_) - 1));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+    const sim::NodeId victim = ids[static_cast<std::size_t>(i)];
+    const auto crash = static_cast<sim::Round>(
+        rng.between(1, config_.crash_window));
+    crash_round_[static_cast<std::size_t>(victim)] = crash;
+    if (config_.restart) {
+      restart_round_[static_cast<std::size_t>(victim)] =
+          crash + static_cast<sim::Round>(
+                      rng.between(1, config_.restart_downtime));
+    }
+  }
+}
+
+bool FaultPlan::hasRestarts() const {
+  return std::any_of(restart_round_.begin(), restart_round_.end(),
+                     [](sim::Round r) { return r != 0; });
+}
+
+bool FaultPlan::zero() const {
+  return num_crash_targets_ == 0 && config_.drop_prob == 0 &&
+         config_.corrupt_prob == 0;
+}
+
+sim::Round FaultPlan::crashRound(sim::NodeId v) const {
+  return crash_round_[static_cast<std::size_t>(v)];
+}
+
+sim::Round FaultPlan::restartRound(sim::NodeId v) const {
+  return restart_round_[static_cast<std::size_t>(v)];
+}
+
+bool FaultPlan::isCrashed(sim::NodeId v, sim::Round r) const {
+  const sim::Round crash = crash_round_[static_cast<std::size_t>(v)];
+  if (crash == 0 || r < crash) {
+    return false;
+  }
+  const sim::Round restart = restart_round_[static_cast<std::size_t>(v)];
+  return restart == 0 || r < restart;
+}
+
+bool FaultPlan::restartsAt(sim::NodeId v, sim::Round r) const {
+  const sim::Round restart = restart_round_[static_cast<std::size_t>(v)];
+  return restart != 0 && restart == r;
+}
+
+FaultPlan::Fate FaultPlan::deliveryFate(sim::NodeId sender,
+                                        sim::NodeId receiver,
+                                        sim::Round round) const {
+  if (config_.drop_prob > 0 &&
+      keyToReal(deliveryKey(kDropSalt, seed_, sender, receiver, round)) <
+          config_.drop_prob) {
+    return Fate::kDrop;
+  }
+  if (config_.corrupt_prob > 0 &&
+      keyToReal(deliveryKey(kCorruptSalt, seed_, sender, receiver, round)) <
+          config_.corrupt_prob) {
+    return Fate::kCorrupt;
+  }
+  return Fate::kDeliver;
+}
+
+int FaultPlan::corruptBitIndex(sim::NodeId sender, sim::NodeId receiver,
+                               sim::Round round, int bit_size) const {
+  DYNET_CHECK(bit_size >= 1) << "bit_size=" << bit_size;
+  const std::uint64_t key =
+      deliveryKey(kBitSalt, seed_, sender, receiver, round);
+  return static_cast<int>(
+      (static_cast<unsigned __int128>(util::mix64(key)) *
+       static_cast<std::uint64_t>(bit_size)) >>
+      64);
+}
+
+}  // namespace dynet::faults

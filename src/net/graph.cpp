@@ -107,6 +107,30 @@ bool Graph::hasEdge(NodeId a, NodeId b) const {
   return std::find(ns.begin(), ns.end(), b) != ns.end();
 }
 
+bool connectedOn(const Graph& g, std::span<const char> alive) {
+  const NodeId n = g.numNodes();
+  DYNET_CHECK(static_cast<std::size_t>(n) == alive.size())
+      << "alive mask size " << alive.size() << " != " << n << " nodes";
+  UnionFind uf(n);
+  NodeId live = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (alive[static_cast<std::size_t>(v)] != 0) {
+      ++live;
+    }
+  }
+  if (live <= 1) {
+    return true;
+  }
+  NodeId components = live;
+  for (const Edge& e : g.edges()) {
+    if (alive[static_cast<std::size_t>(e.a)] != 0 &&
+        alive[static_cast<std::size_t>(e.b)] != 0 && uf.unite(e.a, e.b)) {
+      --components;
+    }
+  }
+  return components == 1;
+}
+
 GraphPtr makePath(NodeId n) {
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(n));

@@ -56,6 +56,12 @@ class Graph {
 
 using GraphPtr = std::shared_ptr<const Graph>;
 
+/// Connectivity of the subgraph induced by nodes with alive[v] != 0 (edges
+/// with a dead endpoint are unusable).  Vacuously true for zero or one live
+/// node.  Used by the fault-injecting engine, whose relaxed model invariant
+/// only requires the adversary to keep the *live* nodes connected.
+bool connectedOn(const Graph& g, std::span<const char> alive);
+
 /// Convenience constructors used by adversaries and tests.
 GraphPtr makePath(NodeId n);
 GraphPtr makeRing(NodeId n);

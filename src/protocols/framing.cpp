@@ -1,0 +1,103 @@
+#include "protocols/framing.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dynet::proto {
+
+namespace {
+constexpr std::uint64_t kChecksumSalt = 0xf2a1'5c3b'9e07'd4c9ULL;
+
+/// Re-packs the first `bits` bits of a reader into a fresh Message.
+sim::Message copyBits(sim::MessageReader& reader, int bits) {
+  sim::MessageBuilder builder;
+  while (bits > 0) {
+    const int chunk = std::min(bits, 64);
+    builder.put(reader.get(chunk), chunk);
+    bits -= chunk;
+  }
+  return builder.build();
+}
+}  // namespace
+
+std::uint64_t messageChecksum(const sim::Message& payload) {
+  std::uint64_t h = util::hashCombine(
+      kChecksumSalt, static_cast<std::uint64_t>(payload.bitSize()));
+  const int words_in_use = (payload.bitSize() + 63) / 64;
+  for (int w = 0; w < words_in_use; ++w) {
+    h = util::hashCombine(h, payload.words()[static_cast<std::size_t>(w)]);
+  }
+  return h & ((std::uint64_t{1} << kChecksumBits) - 1);
+}
+
+sim::Message frameWithChecksum(const sim::Message& payload) {
+  DYNET_CHECK(payload.bitSize() + kChecksumBits <= sim::Message::kCapacityBits)
+      << "payload of " << payload.bitSize()
+      << " bits leaves no room for the checksum";
+  sim::MessageReader reader(payload);
+  sim::MessageBuilder builder;
+  int bits = payload.bitSize();
+  while (bits > 0) {
+    const int chunk = std::min(bits, 64);
+    builder.put(reader.get(chunk), chunk);
+    bits -= chunk;
+  }
+  builder.put(messageChecksum(payload), kChecksumBits);
+  return builder.build();
+}
+
+bool verifyAndStrip(const sim::Message& framed, sim::Message& payload) {
+  if (framed.bitSize() < kChecksumBits) {
+    return false;
+  }
+  sim::MessageReader reader(framed);
+  const sim::Message candidate =
+      copyBits(reader, framed.bitSize() - kChecksumBits);
+  const std::uint64_t claimed = reader.get(kChecksumBits);
+  if (claimed != messageChecksum(candidate)) {
+    return false;
+  }
+  payload = candidate;
+  return true;
+}
+
+FramedProcess::FramedProcess(std::unique_ptr<sim::Process> inner)
+    : inner_(std::move(inner)) {
+  DYNET_CHECK(inner_ != nullptr) << "null inner process";
+}
+
+sim::Action FramedProcess::onRound(sim::Round round, util::CoinStream& coins) {
+  sim::Action action = inner_->onRound(round, coins);
+  if (action.send) {
+    action.msg = frameWithChecksum(action.msg);
+  }
+  return action;
+}
+
+void FramedProcess::onDeliver(sim::Round round, bool sent,
+                              std::span<const sim::Message> received) {
+  valid_.clear();
+  for (const sim::Message& framed : received) {
+    sim::Message payload;
+    if (verifyAndStrip(framed, payload)) {
+      valid_.push_back(payload);
+    } else {
+      ++frames_rejected_;
+    }
+  }
+  inner_->onDeliver(round, sent, valid_);
+}
+
+FramedFactory::FramedFactory(std::shared_ptr<const sim::ProcessFactory> inner)
+    : inner_(std::move(inner)) {
+  DYNET_CHECK(inner_ != nullptr) << "null inner factory";
+}
+
+std::unique_ptr<sim::Process> FramedFactory::create(
+    sim::NodeId node, sim::NodeId num_nodes) const {
+  return std::make_unique<FramedProcess>(inner_->create(node, num_nodes));
+}
+
+}  // namespace dynet::proto

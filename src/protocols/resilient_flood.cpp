@@ -1,0 +1,130 @@
+#include "protocols/resilient_flood.h"
+
+#include <algorithm>
+
+#include "protocols/framing.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dynet::proto {
+
+namespace {
+// Frame payloads (before the checksum): a 1-bit type, then for token
+// frames the token itself.
+constexpr std::uint64_t kTypeRequest = 0;
+constexpr std::uint64_t kTypeToken = 1;
+}  // namespace
+
+ResilientFloodProcess::ResilientFloodProcess(
+    sim::NodeId node, const ResilientFloodConfig& config)
+    : node_(node),
+      config_(config),
+      has_token_(node == config.source),
+      token_round_(node == config.source ? 0 : -1) {
+  DYNET_CHECK(config_.token_bits >= 1 && config_.token_bits <= 64)
+      << "token_bits=" << config_.token_bits;
+  DYNET_CHECK(config_.backoff_cap >= 1) << "backoff_cap=" << config_.backoff_cap;
+  DYNET_CHECK(config_.quiet_threshold >= 1)
+      << "quiet_threshold=" << config_.quiet_threshold;
+  if (config_.token_bits < 64) {
+    DYNET_CHECK(config_.token < (std::uint64_t{1} << config_.token_bits))
+        << "token does not fit " << config_.token_bits << " bits";
+  }
+}
+
+sim::Action ResilientFloodProcess::onRound(sim::Round /*round*/,
+                                           util::CoinStream& coins) {
+  sim::Action action;
+  if (!has_token_) {
+    // Solicit: broadcast a request beacon half the time, listen otherwise.
+    if (coins.coin()) {
+      action.send = true;
+      action.msg = frameWithChecksum(
+          sim::MessageBuilder().put(kTypeRequest, 1).build());
+    }
+    return action;
+  }
+  if (quiescent_ || cooldown_ > 0) {
+    cooldown_ = std::max(0, cooldown_ - 1);
+    return action;  // listen
+  }
+  if (!coins.coin()) {
+    return action;  // stay receptive half the rounds even when due to send
+  }
+  action.send = true;
+  action.msg = frameWithChecksum(sim::MessageBuilder()
+                                     .put(kTypeToken, 1)
+                                     .put(config_.token, config_.token_bits)
+                                     .build());
+  gap_ = std::min(gap_ * 2, config_.backoff_cap);
+  cooldown_ = gap_;
+  return action;
+}
+
+void ResilientFloodProcess::onDeliver(sim::Round round, bool sent,
+                                      std::span<const sim::Message> received) {
+  bool heard_request = false;
+  for (const sim::Message& framed : received) {
+    sim::Message payload;
+    if (!verifyAndStrip(framed, payload)) {
+      ++corrupt_rejected_;
+      continue;
+    }
+    sim::MessageReader reader(payload);
+    if (reader.bitsRemaining() < 1) {
+      ++corrupt_rejected_;  // valid checksum but empty frame: garbage
+      continue;
+    }
+    const std::uint64_t type = reader.get(1);
+    if (type == kTypeToken) {
+      if (reader.bitsRemaining() < config_.token_bits) {
+        ++corrupt_rejected_;
+        continue;
+      }
+      const std::uint64_t value = reader.get(config_.token_bits);
+      if (value != config_.token) {
+        ++corrupt_rejected_;  // survived the checksum but wrong token
+        continue;
+      }
+      if (!has_token_) {
+        has_token_ = true;
+        token_round_ = round;
+        gap_ = 1;
+        cooldown_ = 0;
+        quiet_listens_ = 0;
+      }
+    } else {
+      heard_request = true;
+    }
+  }
+  if (!has_token_) {
+    return;
+  }
+  if (heard_request) {
+    // Someone nearby still lacks the token: serve eagerly again.
+    gap_ = 1;
+    cooldown_ = 0;
+    quiet_listens_ = 0;
+    quiescent_ = false;
+  } else if (!sent) {
+    ++quiet_listens_;
+    if (gap_ >= config_.backoff_cap &&
+        quiet_listens_ >= config_.quiet_threshold) {
+      quiescent_ = true;
+    }
+  }
+}
+
+std::uint64_t ResilientFloodProcess::stateDigest() const {
+  std::uint64_t h = util::hashCombine(static_cast<std::uint64_t>(node_),
+                                      has_token_ ? 1 : 0);
+  h = util::hashCombine(h, static_cast<std::uint64_t>(token_round_ + 1));
+  return util::hashCombine(h, quiescent_ ? 1 : 0);
+}
+
+std::unique_ptr<sim::Process> ResilientFloodFactory::create(
+    sim::NodeId node, sim::NodeId /*num_nodes*/) const {
+  return std::make_unique<ResilientFloodProcess>(node, config_);
+}
+
+}  // namespace dynet::proto

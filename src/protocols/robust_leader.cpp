@@ -1,0 +1,92 @@
+#include "protocols/robust_leader.h"
+
+#include <utility>
+#include <vector>
+
+#include "faults/fault_injector.h"
+#include "protocols/framing.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dynet::proto {
+
+RobustLeaderOutcome runRobustLeaderElection(
+    const LeaderConfig& config, std::unique_ptr<sim::Adversary> adversary,
+    const faults::FaultConfig& fault_config, sim::Round max_rounds,
+    std::uint64_t seed) {
+  DYNET_CHECK(adversary != nullptr) << "no adversary";
+  const sim::NodeId n = adversary->numNodes();
+
+  auto factory = std::make_shared<const FramedFactory>(
+      std::make_shared<const LeaderElectFactory>(
+          config, util::hashCombine(seed, 17)));
+  std::vector<std::unique_ptr<sim::Process>> processes;
+  processes.reserve(static_cast<std::size_t>(n));
+  for (sim::NodeId v = 0; v < n; ++v) {
+    processes.push_back(factory->create(v, n));
+  }
+
+  faults::FaultPlan plan(n, fault_config,
+                         util::hashCombine(seed, 0xFA17ULL));
+  auto injector =
+      std::make_shared<const faults::FaultInjector>(plan, factory.get());
+
+  sim::EngineConfig engine_config;
+  engine_config.max_rounds = max_rounds;
+  // The checksum frame rides on top of LEADERELECT's own O(log N)-bit
+  // payloads, so the budget grows by exactly the framing overhead.
+  engine_config.msg_budget_bits = sim::defaultBudgetBits(n) + kChecksumBits;
+  sim::Engine engine(std::move(processes), std::move(adversary), engine_config,
+                     seed);
+  engine.setFaultInjector(injector);
+
+  RobustLeaderOutcome outcome;
+  try {
+    engine.run();
+  } catch (const util::CheckError&) {
+    outcome.model_violation = true;
+    outcome.run = engine.result();
+    return outcome;
+  }
+  outcome.run = engine.result();
+  outcome.rounds = outcome.run.all_done_round >= 0
+                       ? outcome.run.all_done_round
+                       : outcome.run.rounds_executed;
+
+  const sim::Round end = engine.currentRound();
+  sim::NodeId live = 0;
+  outcome.completed = true;
+  outcome.agreement = true;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    if (plan.isCrashed(v, end)) {
+      continue;
+    }
+    ++live;
+    const sim::Process& p = engine.process(v);
+    if (!p.done()) {
+      outcome.completed = false;
+      continue;
+    }
+    if (outcome.leader_key == 0) {
+      outcome.leader_key = p.output();
+    } else if (p.output() != outcome.leader_key) {
+      outcome.agreement = false;
+    }
+  }
+  outcome.live_fraction =
+      n > 0 ? static_cast<double>(live) / static_cast<double>(n) : 0.0;
+  if (outcome.leader_key == 0) {
+    outcome.agreement = false;
+  }
+  if (outcome.agreement) {
+    const auto leader_node =
+        static_cast<sim::NodeId>(outcome.leader_key - 1);
+    outcome.leader_live = leader_node >= 0 && leader_node < n &&
+                          !plan.isCrashed(leader_node, end);
+  }
+  outcome.success =
+      outcome.completed && outcome.agreement && outcome.leader_live;
+  return outcome;
+}
+
+}  // namespace dynet::proto

@@ -1,0 +1,60 @@
+// Crash/corruption-tolerant wrapper around the §7 unknown-D LEADERELECT.
+//
+// The paper's protocol assumes the clean model; under a FaultPlan its
+// guarantees necessarily degrade (e.g. if the max-id node crashes after its
+// id has spread, no surviving node can become a candidate and the election
+// stalls).  This wrapper makes the degradation measurable instead of fatal:
+//
+//   * every LEADERELECT message is checksum-framed (framing.h), so payload
+//     corruption is detected and dropped instead of mis-parsed into bogus
+//     leader/lock state,
+//   * the engine runs with the fault injector and the relaxed (live-node)
+//     connectivity invariant,
+//   * the outcome is *evaluated*, never asserted: did all surviving nodes
+//     terminate, did they agree, and is the agreed leader itself a
+//     survivor?  Engine-level model violations (e.g. the adversary failing
+//     to keep the live subgraph connected) are caught and reported as a
+//     failed trial.
+//
+// bench_faults aggregates outcomes into success rates across Monte Carlo
+// trials — the "report success rate rather than assert" discipline.
+#pragma once
+
+#include <memory>
+
+#include "faults/fault_plan.h"
+#include "protocols/leader_unknown_d.h"
+#include "sim/engine.h"
+
+namespace dynet::proto {
+
+struct RobustLeaderOutcome {
+  /// Every live node reported done() within the round budget.
+  bool completed = false;
+  /// All live nodes output the same leader key.
+  bool agreement = false;
+  /// The agreed leader is itself a surviving (non-crashed) node.
+  bool leader_live = false;
+  /// completed && agreement && leader_live.
+  bool success = false;
+  /// The engine aborted on a model violation (e.g. live subgraph
+  /// disconnected); counts as failure, never as a crash of the harness.
+  bool model_violation = false;
+  /// Fraction of nodes still live at the end of the run.
+  double live_fraction = 1.0;
+  /// Agreed leader key (id + 1); 0 when there is no agreement.
+  std::uint64_t leader_key = 0;
+  sim::Round rounds = 0;
+  /// Full engine result, including fault counters.
+  sim::RunResult run;
+};
+
+/// Runs one faulty election trial: LEADERELECT under `config`, hardened by
+/// checksum framing, against `adversary` with the faults of `fault_config`
+/// (plan seed derived from `seed`).
+RobustLeaderOutcome runRobustLeaderElection(
+    const LeaderConfig& config, std::unique_ptr<sim::Adversary> adversary,
+    const faults::FaultConfig& fault_config, sim::Round max_rounds,
+    std::uint64_t seed);
+
+}  // namespace dynet::proto

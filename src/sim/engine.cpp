@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "faults/fault_injector.h"
 #include "util/check.h"
 
 namespace dynet::sim {
@@ -32,9 +33,31 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
   result_.bits_per_node.assign(processes_.size(), 0);
 }
 
+void Engine::setFaultInjector(
+    std::shared_ptr<const faults::FaultInjector> injector) {
+  DYNET_CHECK(round_ == 0) << "fault injector attached mid-run";
+  if (injector != nullptr) {
+    DYNET_CHECK(injector->plan().numNodes() ==
+                static_cast<NodeId>(processes_.size()))
+        << "fault plan nodes " << injector->plan().numNodes()
+        << " != processes " << processes_.size();
+  }
+  injector_ = std::move(injector);
+  if (injector_ != nullptr) {
+    crash_counted_.assign(processes_.size(), 0);
+  }
+}
+
 bool Engine::allDone() const {
-  return std::all_of(processes_.begin(), processes_.end(),
-                     [](const auto& p) { return p->done(); });
+  for (NodeId v = 0; v < static_cast<NodeId>(processes_.size()); ++v) {
+    if (injector_ != nullptr && injector_->isCrashed(v, round_)) {
+      continue;  // crashed nodes cannot hold the run open
+    }
+    if (!processes_[static_cast<std::size_t>(v)]->done()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool Engine::step() {
@@ -44,9 +67,33 @@ bool Engine::step() {
   ++round_;
   const auto n = static_cast<NodeId>(processes_.size());
 
-  // 1-2. Coins flip, each node decides its action.
+  const bool faulty = injector_ != nullptr;
+  if (faulty) {
+    alive_.assign(processes_.size(), 1);
+  }
+
+  // 1-2. Coins flip, each node decides its action.  Crashed nodes decide
+  // nothing and emit nothing; a node scheduled to restart this round first
+  // gets its state machine re-created (state reset, not resumption).
   current_actions_.resize(processes_.size());
   for (NodeId v = 0; v < n; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (faulty) {
+      if (injector_->restartsAt(v, round_)) {
+        processes_[idx] = injector_->freshProcess(v, n);
+        crash_counted_[idx] = 0;
+        ++result_.restarts;
+      }
+      if (injector_->isCrashed(v, round_)) {
+        if (crash_counted_[idx] == 0) {
+          crash_counted_[idx] = 1;
+          ++result_.crashes;
+        }
+        alive_[idx] = 0;
+        current_actions_[idx] = Action{};
+        continue;
+      }
+    }
     util::CoinStream coins(seed_, static_cast<std::uint64_t>(v),
                            static_cast<std::uint64_t>(round_));
     current_actions_[static_cast<std::size_t>(v)] =
@@ -69,9 +116,16 @@ bool Engine::step() {
   DYNET_CHECK(g != nullptr) << "adversary returned null topology";
   DYNET_CHECK(g->numNodes() == n) << "topology node count mismatch";
   if (config_.check_connectivity) {
-    DYNET_CHECK(g->connected())
-        << "round " << round_ << " topology disconnected ("
-        << g->componentCount() << " components)";
+    if (faulty && config_.relax_connectivity_to_live &&
+        injector_->plan().hasCrashes()) {
+      DYNET_CHECK(net::connectedOn(*g, alive_))
+          << "round " << round_
+          << " live-node subgraph disconnected (crashed nodes excluded)";
+    } else {
+      DYNET_CHECK(g->connected())
+          << "round " << round_ << " topology disconnected ("
+          << g->componentCount() << " components)";
+    }
   }
   if (config_.record_topologies) {
     topologies_.push_back(g);
@@ -81,8 +135,13 @@ bool Engine::step() {
   }
 
   // 4. Delivery: every receiving node gets the messages of its sending
-  // neighbors.
+  // neighbors.  The fault injector sits between the send decision and
+  // onDeliver: each individual (sender, receiver) delivery may be dropped
+  // or corrupted; crashed receivers get nothing at all.
   for (NodeId v = 0; v < n; ++v) {
+    if (faulty && alive_[static_cast<std::size_t>(v)] == 0) {
+      continue;  // crashed: no onDeliver
+    }
     const Action& a = current_actions_[static_cast<std::size_t>(v)];
     if (a.send) {
       processes_[static_cast<std::size_t>(v)]->onDeliver(round_, true, {});
@@ -100,7 +159,23 @@ bool Engine::step() {
     std::sort(inbox_senders_.begin(), inbox_senders_.end());
     inbox_.clear();
     for (NodeId u : inbox_senders_) {
-      inbox_.push_back(current_actions_[static_cast<std::size_t>(u)].msg);
+      const Message& msg = current_actions_[static_cast<std::size_t>(u)].msg;
+      if (faulty) {
+        const auto fate = injector_->deliveryFate(u, v, round_);
+        if (fate == faults::FaultPlan::Fate::kDrop) {
+          ++result_.messages_dropped;
+          continue;
+        }
+        if (fate == faults::FaultPlan::Fate::kCorrupt) {
+          ++result_.messages_corrupted;
+          if (!injector_->plan().config().deliver_corrupted) {
+            continue;  // link-layer CRC catches it
+          }
+          inbox_.push_back(injector_->corrupted(msg, u, v, round_));
+          continue;
+        }
+      }
+      inbox_.push_back(msg);
     }
     processes_[static_cast<std::size_t>(v)]->onDeliver(round_, false, inbox_);
   }

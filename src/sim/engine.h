@@ -15,6 +15,10 @@
 #include "sim/adversary.h"
 #include "sim/process.h"
 
+namespace dynet::faults {
+class FaultInjector;
+}  // namespace dynet::faults
+
 namespace dynet::sim {
 
 /// Message budget used throughout: a fixed constant multiple of log N.
@@ -25,9 +29,16 @@ struct EngineConfig {
   /// 0 derives defaultBudgetBits(N).
   int msg_budget_bits = 0;
   bool check_connectivity = true;
+  /// With a FaultInjector attached whose plan crashes nodes, relax the
+  /// connectivity invariant to the subgraph induced by the *live* nodes
+  /// (edges through crashed nodes carry nothing, so demanding full
+  /// connectivity would be both too strong and unachievable for the
+  /// adversary zoo).  Ignored without an injector.
+  bool relax_connectivity_to_live = true;
   bool record_topologies = false;
   bool record_actions = false;
-  /// Stop as soon as every process reports done().
+  /// Stop as soon as every process reports done().  With a FaultInjector,
+  /// crashed nodes are exempt: the run stops when every live node is done.
   bool stop_when_all_done = true;
 };
 
@@ -42,6 +53,18 @@ struct RunResult {
   std::uint64_t bits_sent = 0;
   /// Per node: total payload bits sent (load/fairness analysis).
   std::vector<std::uint64_t> bits_per_node;
+
+  // Fault accounting (all zero without a FaultInjector or with a zero plan).
+  /// Crash-stop events (a node that restarts and crashes again counts once
+  /// per down transition).
+  std::uint64_t crashes = 0;
+  /// State-reset restarts of previously crashed nodes.
+  std::uint64_t restarts = 0;
+  /// Individual deliveries lost to the drop schedule.
+  std::uint64_t messages_dropped = 0;
+  /// Individual deliveries corrupted (mangled or detect-and-dropped,
+  /// depending on FaultConfig::deliver_corrupted).
+  std::uint64_t messages_corrupted = 0;
 };
 
 class Engine {
@@ -50,6 +73,11 @@ class Engine {
   Engine(std::vector<std::unique_ptr<Process>> processes,
          std::unique_ptr<Adversary> adversary, EngineConfig config,
          std::uint64_t seed);
+
+  /// Attaches a fault-injection hook; must be called before the first
+  /// step().  A null injector (the default) reproduces the clean model
+  /// exactly; so does an injector whose plan is all-zero.
+  void setFaultInjector(std::shared_ptr<const faults::FaultInjector> injector);
 
   /// Runs rounds until max_rounds or all done.
   RunResult run();
@@ -79,6 +107,7 @@ class Engine {
   std::uint64_t seed_;
   int budget_bits_;
   Round round_ = 0;
+  std::shared_ptr<const faults::FaultInjector> injector_;
 
   net::TopologySeq topologies_;
   std::vector<std::vector<Action>> actions_;
@@ -88,6 +117,8 @@ class Engine {
   std::vector<Action> current_actions_;
   std::vector<Message> inbox_;
   std::vector<NodeId> inbox_senders_;
+  std::vector<char> alive_;          // this round's live mask (faults only)
+  std::vector<char> crash_counted_;  // down transitions already accounted
 };
 
 }  // namespace dynet::sim

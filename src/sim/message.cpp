@@ -1,5 +1,6 @@
 #include "sim/message.h"
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace dynet::sim {
@@ -10,6 +11,15 @@ std::uint64_t Message::digest() const {
     h = util::hashCombine(h, words_[static_cast<std::size_t>(w)]);
   }
   return h;
+}
+
+Message Message::withBitFlipped(int bit) const {
+  DYNET_CHECK(bit >= 0 && bit < bits_)
+      << "bit " << bit << " outside payload of " << bits_ << " bits";
+  Message m = *this;
+  m.words_[static_cast<std::size_t>(bit >> 6)] ^= std::uint64_t{1}
+                                                  << (bit & 63);
+  return m;
 }
 
 }  // namespace dynet::sim

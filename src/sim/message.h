@@ -39,6 +39,10 @@ class Message {
   /// Order-insensitive digest for trace comparison.
   std::uint64_t digest() const;
 
+  /// Copy with payload bit `bit` inverted (fault injection / corruption
+  /// modeling).  `bit` must be in [0, bitSize()).
+  Message withBitFlipped(int bit) const;
+
  private:
   friend class MessageBuilder;
   std::array<std::uint64_t, kCapacityWords> words_{};

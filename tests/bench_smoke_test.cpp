@@ -28,14 +28,9 @@ TEST_P(BenchSmoke, RunsCleanInQuickMode) {
   if (!std::filesystem::exists(binary)) {
     GTEST_SKIP() << binary << " not built";
   }
-  // Benches without a --quick flag reject it; fall back to the plain run
-  // only for those (Cli::rejectUnknown exits non-zero fast, so this stays
-  // cheap).
-  int rc = runQuiet(binary + " --quick");
-  if (rc != 0) {
-    rc = runQuiet(binary);
-  }
-  EXPECT_EQ(rc, 0) << binary;
+  // Every bench supports --quick (see bench/bench_common.h); a non-zero
+  // exit here means the bench crashed or broke the --quick contract.
+  EXPECT_EQ(runQuiet(binary + " --quick"), 0) << binary;
 }
 
 // bench_sim_perf (google-benchmark) and the heavier sweeps are exercised
@@ -48,6 +43,7 @@ INSTANTIATE_TEST_SUITE_P(Quick, BenchSmoke,
                                            "bench_disjcp",
                                            "bench_ablation_cascade",
                                            "bench_dual_graph",
-                                           "bench_churn"));
+                                           "bench_churn",
+                                           "bench_faults"));
 
 }  // namespace

@@ -157,6 +157,61 @@ TEST(Engine, BudgetViolationAborts) {
   EXPECT_THROW(engine.step(), util::CheckError);
 }
 
+/// Sends a well-formed 240-bit message every round (over the default
+/// budget, within a raised explicit one).
+class WideSender : public Process {
+ public:
+  Action onRound(Round, util::CoinStream&) override {
+    Action a;
+    a.send = true;
+    MessageBuilder b;
+    for (int i = 0; i < 4; ++i) {
+      b.put((std::uint64_t{1} << 60) - 1, 60);
+    }
+    a.msg = b.build();
+    return a;
+  }
+  void onDeliver(Round, bool, std::span<const Message>) override {}
+};
+
+TEST(Engine, ExplicitBudgetOverridesDefault) {
+  // A 240-bit message violates the default N=2 budget (72 bits) but is
+  // legal once an explicit msg_budget_bits admits it...
+  std::vector<std::unique_ptr<Process>> ps;
+  ps.push_back(std::make_unique<WideSender>());
+  ps.push_back(std::make_unique<WideSender>());
+  EngineConfig config;
+  config.msg_budget_bits = 240;
+  config.max_rounds = 1;
+  config.stop_when_all_done = false;
+  Engine engine(std::move(ps), std::make_unique<adv::StaticAdversary>(net::makePath(2)),
+                config, 1);
+  EXPECT_EQ(engine.budgetBits(), 240);
+  engine.run();
+  EXPECT_EQ(engine.result().messages_sent, 2u);
+
+  // ...and a tighter explicit budget still aborts the round.
+  std::vector<std::unique_ptr<Process>> ps2;
+  ps2.push_back(std::make_unique<WideSender>());
+  ps2.push_back(std::make_unique<WideSender>());
+  EngineConfig tight;
+  tight.msg_budget_bits = 239;
+  Engine strict(std::move(ps2),
+                std::make_unique<adv::StaticAdversary>(net::makePath(2)), tight, 1);
+  EXPECT_THROW(strict.step(), util::CheckError);
+}
+
+TEST(Engine, ExplicitBudgetAboveCapacityRejected) {
+  std::vector<std::unique_ptr<Process>> ps;
+  ps.push_back(std::make_unique<WideSender>());
+  EngineConfig config;
+  config.msg_budget_bits = Message::kCapacityBits + 1;
+  EXPECT_THROW(Engine(std::move(ps),
+                      std::make_unique<adv::StaticAdversary>(net::makePath(1)),
+                      config, 1),
+               util::CheckError);
+}
+
 TEST(Engine, DefaultBudgetScalesWithLogN) {
   EXPECT_EQ(defaultBudgetBits(2), 64 + 8);
   EXPECT_EQ(defaultBudgetBits(1024), 64 + 80);
@@ -183,6 +238,39 @@ TEST(Engine, DisconnectedTopologyRejected) {
   EngineConfig config;
   Engine engine(std::move(ps), std::make_unique<BrokenAdversary>(2), config, 1);
   EXPECT_THROW(engine.step(), util::CheckError);
+}
+
+/// Connected for the first `good_rounds` rounds, then disconnected.
+class EventuallyBrokenAdversary : public Adversary {
+ public:
+  EventuallyBrokenAdversary(NodeId n, Round good_rounds)
+      : n_(n), good_rounds_(good_rounds) {}
+  net::GraphPtr topology(Round round, const RoundObservation&) override {
+    if (round <= good_rounds_) {
+      return net::makePath(n_);
+    }
+    return std::make_shared<net::Graph>(n_, std::vector<net::Edge>{});
+  }
+  NodeId numNodes() const override { return n_; }
+
+ private:
+  NodeId n_;
+  Round good_rounds_;
+};
+
+TEST(Engine, MidRunDisconnectionRejected) {
+  const std::vector<std::vector<Scripted::Step>> scripts = {
+      {{false, 0}, {false, 0}, {false, 0}},
+      {{false, 0}, {false, 0}, {false, 0}}};
+  auto ps = scriptedNodes(scripts);
+  EngineConfig config;
+  config.stop_when_all_done = false;
+  Engine engine(std::move(ps),
+                std::make_unique<EventuallyBrokenAdversary>(2, 2), config, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_TRUE(engine.step());
+  EXPECT_THROW(engine.step(), util::CheckError);
+  EXPECT_EQ(engine.result().rounds_executed, 2);
 }
 
 TEST(Engine, DisconnectedToleratedWhenCheckOff) {

@@ -297,6 +297,32 @@ TEST(ThreadPool, ReusableAcrossBatches) {
   }
 }
 
+TEST(ThreadPool, ReusableAfterException) {
+  // A batch that throws must not poison the pool: workers survive and the
+  // next parallelFor still runs every index.
+  ThreadPool pool(3);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_THROW(pool.parallelFor(50,
+                                  [](std::size_t i) {
+                                    if (i % 10 == 3) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+                 std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallelFor(200, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 200);
+  }
+}
+
+TEST(ThreadPool, PropagatesCheckError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallelFor(8,
+                       [](std::size_t i) { DYNET_CHECK(i != 5) << "bad"; }),
+      CheckError);
+}
+
 TEST(ThreadPool, ZeroItemsNoop) {
   ThreadPool pool(2);
   pool.parallelFor(0, [](std::size_t) { FAIL(); });
