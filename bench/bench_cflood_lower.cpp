@@ -12,6 +12,7 @@
 
 #include "bench_common.h"
 #include "lowerbound/reduction.h"
+#include "lowerbound/spoiled.h"
 #include "protocols/cflood.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -27,6 +28,7 @@ int run(int argc, char** argv) {
   const int n_groups = static_cast<int>(cli.integer("n", 2));
   const int wait_rounds = static_cast<int>(cli.integer("oracle_wait", 12));
   const bool quick = cli.flag("quick");
+  bench::ObsSession obs(cli);
   cli.rejectUnknown();
 
   std::cout
@@ -63,6 +65,18 @@ int run(int argc, char** argv) {
       config.max_rounds = network.horizon();
       config.record_topologies = true;
       config.stop_when_all_done = false;
+      // Instrument the first cell's probe run; the lower-bound chain's
+      // spoiled-node profile rides along (O(s) staying O(s) is what keeps
+      // the simulation's bit budget honest).
+      const bool instrument = obs.sink() != nullptr && q == qs.front();
+      if (instrument && disj == 1) {
+        config.metrics = obs.sink();
+        for (const auto party : {lb::Party::kAlice, lb::Party::kBob}) {
+          lb::exportSpoiledMetrics(
+              network.spoiledFrom(party), network.horizon(), obs.registry(),
+              party == lb::Party::kAlice ? "lb/alice/" : "lb/bob/");
+        }
+      }
       sim::Engine probe(std::move(ps), network.referenceAdversary(), config,
                         rng.u64());
       probe.run();
@@ -109,6 +123,7 @@ int run(int argc, char** argv) {
          "Ω(n/q²) DISJOINTNESSCP bound into Theorem 6's Ω((N/log N)^{1/4})\n"
          "flooding-round bound.  'consistent' = both parties' simulations\n"
          "matched the reference execution action-for-action.\n";
+  obs.write();
   return 0;
 }
 

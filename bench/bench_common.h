@@ -1,6 +1,7 @@
 // Shared helpers for the benchmark harness binaries.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -9,8 +10,11 @@
 #include "adversary/dynamic_adversaries.h"
 #include "adversary/static_adversaries.h"
 #include "net/diameter.h"
+#include "obs/prof.h"
+#include "obs/sink.h"
 #include "sim/engine.h"
 
+#include "util/check.h"
 #include "util/cli.h"
 
 namespace dynet::bench {
@@ -62,6 +66,79 @@ inline std::vector<std::string> zooNames() {
   return {"static_path", "static_star", "random_tree", "anchored_star",
           "rotating_star", "shuffle_path", "interval"};
 }
+
+/// Opt-in observability for bench binaries, driven by three flags:
+///
+///   --metrics-out=metrics.json   metric registry dump (see dynet_stats)
+///   --chrome-trace=trace.json    round-phase spans for chrome://tracing
+///   --trace-jsonl=events.jsonl   same spans, one JSON object per line
+///
+///   bench::ObsSession obs(cli);
+///   ...
+///   if (obs.enabled()) config.metrics = obs.sink();
+///   ...
+///   obs.write();  // after the instrumented run(s)
+///
+/// The registry is NOT thread-safe: attach the sink to ONE representative
+/// engine run on the bench's main thread, never to engines executed inside
+/// sim::runTrials workers.  Sequential engines may share the sink — the
+/// engine increments counters by per-round deltas, so totals aggregate;
+/// per-node series are overwritten by the last run.  DYNET_PROF timers are
+/// captured into the same registry while the session is alive.
+class ObsSession {
+ public:
+  explicit ObsSession(const util::Cli& cli)
+      : metrics_path_(cli.str("metrics-out", "")),
+        chrome_path_(cli.str("chrome-trace", "")),
+        jsonl_path_(cli.str("trace-jsonl", "")) {
+    if (!chrome_path_.empty() || !jsonl_path_.empty()) {
+      sink_.trace = &trace_;
+    }
+    if (enabled()) {
+      prof_ = std::make_unique<obs::ProfScope>(&sink_.registry);
+    }
+  }
+
+  bool enabled() const {
+    return !metrics_path_.empty() || sink_.trace != nullptr;
+  }
+
+  /// Pass as EngineConfig::metrics for the representative run (or nullptr
+  /// when the session is disabled, which keeps the engine's fast path).
+  obs::MetricsSink* sink() { return enabled() ? &sink_ : nullptr; }
+  obs::MetricsRegistry& registry() { return sink_.registry; }
+
+  /// Flushes prof timers and writes whichever outputs were requested.
+  void write() {
+    prof_.reset();
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      DYNET_CHECK(out.good()) << "cannot open " << metrics_path_;
+      sink_.registry.writeJson(out);
+      std::cerr << "metrics written to " << metrics_path_ << "\n";
+    }
+    if (!chrome_path_.empty()) {
+      std::ofstream out(chrome_path_);
+      DYNET_CHECK(out.good()) << "cannot open " << chrome_path_;
+      trace_.writeChromeTrace(out);
+      std::cerr << "chrome trace written to " << chrome_path_ << "\n";
+    }
+    if (!jsonl_path_.empty()) {
+      std::ofstream out(jsonl_path_);
+      DYNET_CHECK(out.good()) << "cannot open " << jsonl_path_;
+      trace_.writeJsonl(out);
+      std::cerr << "trace events written to " << jsonl_path_ << "\n";
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string chrome_path_;
+  std::string jsonl_path_;
+  obs::MetricsSink sink_;
+  obs::TraceWriter trace_;
+  std::unique_ptr<obs::ProfScope> prof_;
+};
 
 /// Builds an engine over `factory` and the named adversary.
 inline sim::Engine makeEngine(const sim::ProcessFactory& factory,

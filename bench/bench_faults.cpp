@@ -225,11 +225,44 @@ void leaderSweep(NodeId n, const std::vector<double>& drops,
   std::cout << table.toString() << "\n";
 }
 
+/// One instrumented fault-injected ResilientFlood run on the main thread
+/// when observability was requested (the sink cannot ride inside
+/// runTrials).  Captures the faults/* counters and retransmission metrics.
+void instrumentedRun(bench::ObsSession& obs, NodeId n, std::uint64_t seed) {
+  proto::ResilientFloodFactory factory{proto::ResilientFloodConfig{}};
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig engine_config;
+  engine_config.max_rounds = 5000;
+  engine_config.metrics = obs.sink();
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::RandomGraphAdversary>(
+                         n, 0.25, util::hashCombine(seed, 1)),
+                     engine_config, seed);
+  faults::FaultConfig fc;
+  fc.drop_prob = 0.1;
+  fc.corrupt_prob = 0.05;
+  fc.deliver_corrupted = true;
+  fc.crash_fraction = 0.1;
+  fc.crash_window = 32;
+  engine.setFaultInjector(std::make_shared<const faults::FaultInjector>(
+      faults::FaultPlan(n, fc, util::hashCombine(seed, 0xFA)), &factory));
+  try {
+    engine.run();
+  } catch (const util::CheckError&) {
+    // Live subgraph disconnected: the partial run's metrics still stand.
+    engine.finalizeMetrics();
+  }
+}
+
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const bool quick = cli.flag("quick");
   const int trials = static_cast<int>(cli.integer("trials", quick ? 5 : 20));
   const NodeId n = static_cast<NodeId>(cli.integer("n", 64));
+  bench::ObsSession obs(cli);
   cli.rejectUnknown();
 
   std::cout << "E-F — fault injection: crash-stop, loss, and corruption\n"
@@ -260,6 +293,11 @@ int run(int argc, char** argv) {
          "hardened LEADERELECT degrades gracefully: corruption is detected\n"
          "and dropped by framing, crashes lower the success rate (a crashed\n"
          "max-id node can strand the election) but never crash the harness.\n";
+
+  if (obs.sink() != nullptr) {
+    instrumentedRun(obs, n, 0xF100D);
+    obs.write();
+  }
   return 0;
 }
 

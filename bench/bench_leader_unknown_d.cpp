@@ -66,10 +66,32 @@ Outcome runCase(const std::string& adv_name, NodeId n,
   return outcome;
 }
 
+/// One instrumented LEADERELECT run on the bench's main thread when
+/// observability was requested (the sink cannot ride inside runTrials).
+void instrumentedRun(bench::ObsSession& obs, NodeId n, int trials_seed) {
+  proto::LeaderConfig config;
+  config.n_estimate = 1.1 * n;
+  config.c = 0.25;
+  config.k = 64;
+  proto::LeaderElectFactory factory(config, util::hashCombine(trials_seed, 17));
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig engine_config;
+  engine_config.max_rounds = 20'000'000;
+  engine_config.metrics = obs.sink();
+  sim::Engine engine(std::move(ps),
+                     bench::makeAdversary("random_tree", n, trials_seed),
+                     engine_config, static_cast<std::uint64_t>(trials_seed));
+  engine.run();
+}
+
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const int trials = static_cast<int>(cli.integer("trials", 3));
   const bool quick = cli.flag("quick");
+  bench::ObsSession obs(cli);
   cli.rejectUnknown();
 
   std::cout
@@ -138,6 +160,11 @@ int run(int argc, char** argv) {
          "no good N' exists (Theorem 7).  That is the paper's punchline: a\n"
          "good estimate of N makes CONSENSUS/LEADERELECT insensitive to\n"
          "unknown diameter.\n";
+
+  if (obs.sink() != nullptr) {
+    instrumentedRun(obs, quick ? NodeId{32} : NodeId{128}, 932);
+    obs.write();
+  }
   return 0;
 }
 

@@ -20,6 +20,19 @@ for b in build/bench/*; do
   "$b" --quick
 done
 
+echo "=== observability smoke (metrics + chrome trace + dynet_stats) ==="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+build/tools/dynet_cli --protocol leader_unknown_d --adversary random_tree \
+  --nodes 32 --seed 7 --metrics-out "$obs_dir/metrics.json" \
+  --chrome-trace "$obs_dir/trace.json"
+build/tools/dynet_stats --in "$obs_dir/metrics.json"
+build/tools/dynet_stats --in "$obs_dir/metrics.json" \
+  --baseline "$obs_dir/metrics.json"
+build/bench/bench_faults --quick --metrics-out "$obs_dir/bench_metrics.json" \
+  > /dev/null
+build/tools/dynet_stats --in "$obs_dir/bench_metrics.json" > /dev/null
+
 echo "=== sanitizer build (ASan + UBSan) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DDYNET_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)"

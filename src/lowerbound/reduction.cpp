@@ -1,6 +1,7 @@
 #include "lowerbound/reduction.h"
 
 #include "lowerbound/party.h"
+#include "obs/prof.h"
 #include "protocols/flood.h"
 #include "sim/engine.h"
 #include "util/check.h"
@@ -72,6 +73,7 @@ void runLockstep(NodeId num_nodes, Round horizon,
 ReductionResult runCFloodReduction(const cc::Instance& inst,
                                    const sim::ProcessFactory& oracle,
                                    std::uint64_t public_seed) {
+  DYNET_PROF("lb/cflood_reduction");
   const CFloodNetwork network(inst);
   ReductionResult result;
   result.disj_truth = cc::evaluate(inst);

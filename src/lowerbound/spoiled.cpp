@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "lowerbound/chain.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace dynet::lb {
@@ -79,6 +81,34 @@ std::vector<LemmaViolation> checkNeighborhoodLemma(
     }
   }
   return violations;
+}
+
+void exportSpoiledMetrics(const std::vector<Round>& spoiled_from,
+                          Round horizon, obs::MetricsRegistry& registry,
+                          const std::string& prefix) {
+  obs::Series* per_round = registry.series("round/" + prefix + "spoiled_nodes");
+  Round within_horizon = 0;
+  Round total = 0;
+  for (const Round from : spoiled_from) {
+    if (from != kNever) {
+      ++total;
+      if (from <= horizon) {
+        ++within_horizon;
+      }
+    }
+  }
+  for (Round r = 1; r <= horizon; ++r) {
+    double spoiled = 0;
+    for (const Round from : spoiled_from) {
+      if (from <= r) {
+        ++spoiled;
+      }
+    }
+    per_round->append(spoiled);
+  }
+  registry.gauge(prefix + "spoiled_total")->set(static_cast<double>(total));
+  registry.gauge(prefix + "spoiled_within_horizon")
+      ->set(static_cast<double>(within_horizon));
 }
 
 }  // namespace dynet::lb

@@ -18,6 +18,10 @@
 #include "lowerbound/party.h"
 #include "net/diameter.h"
 
+namespace dynet::obs {
+class MetricsRegistry;
+}  // namespace dynet::obs
+
 namespace dynet::lb {
 
 struct LemmaViolation {
@@ -31,5 +35,15 @@ std::vector<LemmaViolation> checkNeighborhoodLemma(
     const PartySim::EdgesFn& party_edges, const net::TopologySeq& ref_topologies,
     const std::vector<std::vector<sim::Action>>& ref_actions,
     const std::vector<NodeId>& peer_specials, Round horizon);
+
+/// Records a party's spoiled-node profile into `registry` under `prefix`
+/// (e.g. "lb/alice/"): series `round/<prefix>spoiled_nodes` — how many
+/// nodes are spoiled at each round 1..horizon — and gauges
+/// `<prefix>spoiled_total` / `<prefix>spoiled_within_horizon`.  The
+/// simulation argument's bit bound rides on this count staying O(s), so
+/// benches expose it for regression triage (docs/OBSERVABILITY.md).
+void exportSpoiledMetrics(const std::vector<Round>& spoiled_from,
+                          Round horizon, obs::MetricsRegistry& registry,
+                          const std::string& prefix);
 
 }  // namespace dynet::lb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/prof.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -117,6 +118,7 @@ int allSourcesEccentricity(const TopologySeq& topologies, int start_round) {
 }
 
 int dynamicDiameter(const TopologySeq& topologies, int max_start_round) {
+  DYNET_PROF("net/dynamic_diameter");
   DYNET_CHECK(max_start_round >= 0) << "max_start_round=" << max_start_round;
   std::vector<int> eccs(static_cast<std::size_t>(max_start_round) + 1, 0);
   util::ThreadPool::shared().parallelFor(

@@ -1,0 +1,34 @@
+#include "obs/prof.h"
+
+#include <cmath>
+#include <string>
+
+namespace dynet::obs {
+
+namespace {
+thread_local MetricsRegistry* g_prof_registry = nullptr;
+}  // namespace
+
+MetricsRegistry* profRegistry() { return g_prof_registry; }
+
+ProfScope::ProfScope(MetricsRegistry* registry) : prev_(g_prof_registry) {
+  g_prof_registry = registry;
+}
+
+ProfScope::~ProfScope() { g_prof_registry = prev_; }
+
+ProfTimer::~ProfTimer() {
+  if (registry_ == nullptr) {
+    return;
+  }
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  const std::string prefix = std::string("prof/") + label_;
+  registry_->counter(prefix + "/calls")->inc();
+  registry_->counter(prefix + "/total_us")
+      ->inc(static_cast<std::uint64_t>(std::llround(us)));
+  registry_->histogram(prefix + "/us", profBucketsUs())->observe(us);
+}
+
+}  // namespace dynet::obs

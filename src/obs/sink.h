@@ -1,0 +1,22 @@
+// The bundle EngineConfig::metrics points at.
+//
+// A MetricsSink couples the registry the engine's named metrics land in
+// with an optional TraceWriter for round-phase spans.  The engine only ever
+// sees `obs::MetricsSink*`: a null pointer (the default) disables the whole
+// observability layer at the cost of one branch, and tests pin that a
+// null-sink run is byte-identical to a sink-attached one in every
+// model-visible way (RunResult, trace, process state).
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
+
+namespace dynet::obs {
+
+struct MetricsSink {
+  MetricsRegistry registry;
+  /// Optional, not owned; must outlive every engine using the sink.
+  TraceWriter* trace = nullptr;
+};
+
+}  // namespace dynet::obs

@@ -1,0 +1,117 @@
+#include "obs/trace_events.h"
+
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace dynet::obs {
+
+namespace {
+
+void writeEventJson(std::ostream& out, const TraceEvent& e) {
+  // Names originate from code literals (phase/metric identifiers), so they
+  // need no escaping beyond what writeJson gives metric names.
+  out << "{\"name\":\"" << e.name << "\",\"ph\":\"" << e.ph << "\",\"ts\":";
+  writeJsonNumber(out, e.ts_us);
+  if (e.ph == 'X') {
+    out << ",\"dur\":";
+    writeJsonNumber(out, e.dur_us);
+  }
+  out << ",\"pid\":0,\"tid\":" << e.tid;
+  if (e.ph == 'i') {
+    out << ",\"s\":\"t\"";
+  }
+  if (!e.args.empty()) {
+    out << ",\"args\":{";
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      out << (i > 0 ? "," : "") << '"' << e.args[i].first << "\":";
+      writeJsonNumber(out, e.args[i].second);
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::size_t max_events)
+    : epoch_(std::chrono::steady_clock::now()), max_events_(max_events) {}
+
+double TraceWriter::nowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+bool TraceWriter::push(TraceEvent event) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(std::move(event));
+  return true;
+}
+
+void TraceWriter::span(std::string name, double start_us, double end_us,
+                       std::vector<std::pair<std::string, double>> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.ph = 'X';
+  e.ts_us = start_us;
+  e.dur_us = end_us - start_us;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceWriter::counter(std::string name, double ts_us, double value) {
+  TraceEvent e;
+  e.ph = 'C';
+  e.ts_us = ts_us;
+  e.args.emplace_back(name, value);
+  e.name = std::move(name);
+  push(std::move(e));
+}
+
+void TraceWriter::instant(std::string name, double ts_us,
+                          std::vector<std::pair<std::string, double>> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.ph = 'i';
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+TraceWriter::Scope::Scope(TraceWriter* writer, std::string name,
+                          std::vector<std::pair<std::string, double>> args)
+    : writer_(writer),
+      name_(std::move(name)),
+      args_(std::move(args)),
+      start_us_(writer != nullptr ? writer->nowUs() : 0) {}
+
+TraceWriter::Scope::~Scope() {
+  if (writer_ != nullptr) {
+    writer_->span(std::move(name_), start_us_, writer_->nowUs(),
+                  std::move(args_));
+  }
+}
+
+void TraceWriter::writeJsonl(std::ostream& out) const {
+  for (const TraceEvent& e : events_) {
+    writeEventJson(out, e);
+    out << '\n';
+  }
+}
+
+void TraceWriter::writeChromeTrace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) {
+      out << ",\n";
+    }
+    writeEventJson(out, events_[i]);
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace dynet::obs

@@ -1,0 +1,85 @@
+// Structured execution tracing in Chrome trace_event format.
+//
+// The engine emits one complete span per round phase (adversary topology
+// pick, process step, delivery, fault hook) plus per-round counter tracks;
+// DYNET_PROF scopes and tools can add their own.  Events are buffered in
+// memory and written either as
+//   * JSONL — one event object per line, streaming/grep-friendly, or
+//   * a Chrome trace JSON object ({"traceEvents": [...]}) that loads
+//     directly in chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// Timestamps are wall-clock microseconds since the writer was constructed,
+// so span timings are NOT deterministic across runs — determinism claims
+// apply to metrics.json, not to trace files.  The buffer is capped
+// (`max_events`); once full, further events are counted as dropped rather
+// than recorded, keeping long runs bounded.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dynet::obs {
+
+struct TraceEvent {
+  std::string name;
+  char ph = 'X';     // X = complete span, C = counter, i = instant
+  double ts_us = 0;  // microseconds since TraceWriter construction
+  double dur_us = 0; // complete spans only
+  int tid = 0;
+  /// Numeric args only — round numbers, node counts, counter values.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::size_t max_events = std::size_t{1} << 20);
+
+  /// Microseconds since construction (the ts clock for all events).
+  double nowUs() const;
+
+  void span(std::string name, double start_us, double end_us,
+            std::vector<std::pair<std::string, double>> args = {});
+  void counter(std::string name, double ts_us, double value);
+  void instant(std::string name, double ts_us,
+               std::vector<std::pair<std::string, double>> args = {});
+
+  /// RAII span: times its own lifetime.
+  class Scope {
+   public:
+    Scope(TraceWriter* writer, std::string name,
+          std::vector<std::pair<std::string, double>> args = {});
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TraceWriter* writer_;
+    std::string name_;
+    std::vector<std::pair<std::string, double>> args_;
+    double start_us_;
+  };
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Events discarded after the buffer filled.
+  std::size_t dropped() const { return dropped_; }
+
+  /// One JSON object per line (the trace-event schema of
+  /// docs/OBSERVABILITY.md).
+  void writeJsonl(std::ostream& out) const;
+  /// {"traceEvents": [...]} — loadable in chrome://tracing / Perfetto.
+  void writeChromeTrace(std::ostream& out) const;
+
+ private:
+  bool push(TraceEvent event);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dynet::obs

@@ -48,6 +48,12 @@ std::uint64_t FloodProcess::stateDigest() const {
       static_cast<std::uint64_t>(token_round_ + 1));
 }
 
+void FloodProcess::exportMetrics(
+    std::vector<std::pair<std::string, double>>& out) const {
+  out.emplace_back("flood/has_token", has_token_ ? 1.0 : 0.0);
+  out.emplace_back("flood/token_round", static_cast<double>(token_round_));
+}
+
 std::unique_ptr<sim::Process> FloodFactory::create(sim::NodeId node,
                                                    sim::NodeId /*num_nodes*/) const {
   return std::make_unique<FloodProcess>(node, source_, token_, token_bits_,

@@ -34,6 +34,9 @@ class FloodProcess : public sim::Process {
   bool done() const override { return done_; }
   std::uint64_t output() const override { return has_token_ ? token_ : 0; }
   std::uint64_t stateDigest() const override;
+  /// Exports flood/has_token and flood/token_round (CFLOOD inherits).
+  void exportMetrics(
+      std::vector<std::pair<std::string, double>>& out) const override;
 
   bool hasToken() const { return has_token_; }
   /// Round at whose end the token arrived (0 for the source; -1 if absent).

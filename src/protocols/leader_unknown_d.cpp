@@ -355,6 +355,16 @@ std::uint64_t LeaderElectProcess::stateDigest() const {
   return h;
 }
 
+void LeaderElectProcess::exportMetrics(
+    std::vector<std::pair<std::string, double>>& out) const {
+  out.emplace_back("leader/lock_attempts", static_cast<double>(lock_attempts_));
+  out.emplace_back("leader/unlocks_issued",
+                   static_cast<double>(unlocks_issued_));
+  out.emplace_back("leader/declared_phase",
+                   static_cast<double>(declared_phase_));
+  out.emplace_back("leader/elected", leader_ != 0 ? 1.0 : 0.0);
+}
+
 LeaderElectFactory::LeaderElectFactory(const LeaderConfig& config,
                                        std::uint64_t master_seed,
                                        std::vector<std::uint64_t> inputs)

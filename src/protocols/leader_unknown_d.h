@@ -105,6 +105,10 @@ class LeaderElectProcess : public sim::Process {
     return config_.carry_value ? leader_value_ : leader_;
   }
   std::uint64_t stateDigest() const override;
+  /// Exports leader/lock_attempts, leader/unlocks_issued,
+  /// leader/declared_phase, leader/elected.
+  void exportMetrics(
+      std::vector<std::pair<std::string, double>>& out) const override;
 
   std::uint64_t leaderKey() const { return leader_; }
   std::uint64_t lockedBy() const { return locked_by_; }

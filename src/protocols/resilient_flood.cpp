@@ -56,6 +56,7 @@ sim::Action ResilientFloodProcess::onRound(sim::Round /*round*/,
                                      .put(kTypeToken, 1)
                                      .put(config_.token, config_.token_bits)
                                      .build());
+  ++token_transmissions_;
   gap_ = std::min(gap_ * 2, config_.backoff_cap);
   cooldown_ = gap_;
   return action;
@@ -120,6 +121,16 @@ std::uint64_t ResilientFloodProcess::stateDigest() const {
                                       has_token_ ? 1 : 0);
   h = util::hashCombine(h, static_cast<std::uint64_t>(token_round_ + 1));
   return util::hashCombine(h, quiescent_ ? 1 : 0);
+}
+
+void ResilientFloodProcess::exportMetrics(
+    std::vector<std::pair<std::string, double>>& out) const {
+  out.emplace_back("resilient_flood/retransmissions",
+                   static_cast<double>(std::max(0, token_transmissions_ - 1)));
+  out.emplace_back("resilient_flood/corrupt_rejected",
+                   static_cast<double>(corrupt_rejected_));
+  out.emplace_back("resilient_flood/token_round",
+                   static_cast<double>(token_round_));
 }
 
 std::unique_ptr<sim::Process> ResilientFloodFactory::create(

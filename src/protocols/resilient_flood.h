@@ -52,12 +52,19 @@ class ResilientFloodProcess : public sim::Process {
   bool done() const override { return has_token_ && quiescent_; }
   std::uint64_t output() const override { return has_token_ ? config_.token : 0; }
   std::uint64_t stateDigest() const override;
+  /// Exports resilient_flood/retransmissions,
+  /// resilient_flood/corrupt_rejected, resilient_flood/token_round.
+  void exportMetrics(
+      std::vector<std::pair<std::string, double>>& out) const override;
 
   bool hasToken() const { return has_token_; }
   /// Round at whose end the token arrived (0 for the source; -1 if absent).
   sim::Round tokenRound() const { return token_round_; }
   /// Deliveries discarded for failing checksum verification.
   int corruptRejected() const { return corrupt_rejected_; }
+  /// Token transmissions so far; every one past the first is a
+  /// retransmission paid to outlast drops and crashes.
+  int tokenTransmissions() const { return token_transmissions_; }
 
  private:
   sim::NodeId node_;
@@ -69,6 +76,7 @@ class ResilientFloodProcess : public sim::Process {
   int quiet_listens_ = 0; // consecutive request-free listen rounds
   bool quiescent_ = false;
   int corrupt_rejected_ = 0;
+  int token_transmissions_ = 0;
 };
 
 class ResilientFloodFactory : public sim::ProcessFactory {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "faults/fault_injector.h"
+#include "obs/prof.h"
+#include "obs/sink.h"
 #include "util/check.h"
 
 namespace dynet::sim {
@@ -11,6 +13,39 @@ int defaultBudgetBits(NodeId num_nodes) {
   DYNET_CHECK(num_nodes >= 1) << "num_nodes=" << num_nodes;
   return 64 + 8 * util::bitWidthFor(static_cast<std::uint64_t>(num_nodes));
 }
+
+// Handles resolved once at construction so the per-round recording path
+// never does a string lookup.  Existence of this struct == sink attached.
+struct Engine::ObsHandles {
+  obs::MetricsSink* sink;
+  obs::TraceWriter* trace;  // may be null (metrics without spans)
+  obs::Counter* messages_sent;
+  obs::Counter* bits_sent;
+  obs::Counter* messages_dropped;
+  obs::Counter* messages_corrupted;
+  obs::Counter* crashes;
+  obs::Counter* restarts;
+  obs::Histogram* bits_per_send;
+  obs::Series* round_bits;
+  obs::Series* round_messages;
+
+  explicit ObsHandles(obs::MetricsSink* s) : sink(s), trace(s->trace) {
+    auto& reg = s->registry;
+    messages_sent = reg.counter("engine/messages_sent");
+    bits_sent = reg.counter("engine/bits_sent");
+    messages_dropped = reg.counter("faults/messages_dropped");
+    messages_corrupted = reg.counter("faults/messages_corrupted");
+    crashes = reg.counter("faults/crashes");
+    restarts = reg.counter("faults/restarts");
+    // Message payloads are budget-capped at O(log N) + constant bits;
+    // power-of-two edges up to 4096 cover every budget the repo uses.
+    bits_per_send = reg.histogram(
+        "engine/bits_per_send",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096});
+    round_bits = reg.series("round/bits_sent");
+    round_messages = reg.series("round/messages_sent");
+  }
+};
 
 Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
                std::unique_ptr<Adversary> adversary, EngineConfig config,
@@ -31,7 +66,17 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
       << "budget " << budget_bits_ << " exceeds message capacity";
   result_.done_round.assign(processes_.size(), -1);
   result_.bits_per_node.assign(processes_.size(), 0);
+  if (config_.metrics != nullptr) {
+    obs_ = std::make_unique<ObsHandles>(config_.metrics);
+    config_.metrics->registry.gauge("engine/num_nodes")
+        ->set(static_cast<double>(processes_.size()));
+    config_.metrics->registry.gauge("engine/budget_bits")
+        ->set(static_cast<double>(budget_bits_));
+  }
 }
+
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
 
 void Engine::setFaultInjector(
     std::shared_ptr<const faults::FaultInjector> injector) {
@@ -60,6 +105,21 @@ bool Engine::allDone() const {
   return true;
 }
 
+void Engine::emitRoundObservations(std::uint64_t round_bits,
+                                   std::uint64_t round_messages) {
+  obs_->round_bits->append(static_cast<double>(round_bits));
+  obs_->round_messages->append(static_cast<double>(round_messages));
+  obs_->messages_sent->inc(round_messages);
+  obs_->bits_sent->inc(round_bits);
+  if (obs_->trace != nullptr) {
+    const double now = obs_->trace->nowUs();
+    obs_->trace->counter("bits_sent/round", now,
+                         static_cast<double>(round_bits));
+    obs_->trace->counter("messages_sent/round", now,
+                         static_cast<double>(round_messages));
+  }
+}
+
 bool Engine::step() {
   if (round_ >= config_.max_rounds) {
     return false;
@@ -68,46 +128,78 @@ bool Engine::step() {
   const auto n = static_cast<NodeId>(processes_.size());
 
   const bool faulty = injector_ != nullptr;
+  obs::TraceWriter* tracer = obs_ != nullptr ? obs_->trace : nullptr;
+  double span_start = tracer != nullptr ? tracer->nowUs() : 0.0;
+
+  // 0. Fault hook: apply this round's scheduled restarts (state re-created,
+  // not resumed) and crash transitions before any node acts.
   if (faulty) {
     alive_.assign(processes_.size(), 1);
-  }
-
-  // 1-2. Coins flip, each node decides its action.  Crashed nodes decide
-  // nothing and emit nothing; a node scheduled to restart this round first
-  // gets its state machine re-created (state reset, not resumption).
-  current_actions_.resize(processes_.size());
-  for (NodeId v = 0; v < n; ++v) {
-    const auto idx = static_cast<std::size_t>(v);
-    if (faulty) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto idx = static_cast<std::size_t>(v);
       if (injector_->restartsAt(v, round_)) {
         processes_[idx] = injector_->freshProcess(v, n);
         crash_counted_[idx] = 0;
         ++result_.restarts;
+        if (obs_ != nullptr) {
+          obs_->restarts->inc();
+        }
       }
       if (injector_->isCrashed(v, round_)) {
         if (crash_counted_[idx] == 0) {
           crash_counted_[idx] = 1;
           ++result_.crashes;
+          if (obs_ != nullptr) {
+            obs_->crashes->inc();
+          }
         }
         alive_[idx] = 0;
-        current_actions_[idx] = Action{};
-        continue;
       }
+    }
+    if (tracer != nullptr) {
+      const double now = tracer->nowUs();
+      tracer->span("fault_hook", span_start, now,
+                   {{"round", static_cast<double>(round_)}});
+      span_start = now;
+    }
+  }
+
+  // 1-2. Coins flip, each live node decides its action; crashed nodes
+  // decide nothing and emit nothing.
+  const std::uint64_t bits_before = result_.bits_sent;
+  const std::uint64_t messages_before = result_.messages_sent;
+  current_actions_.resize(processes_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (faulty && alive_[idx] == 0) {
+      current_actions_[idx] = Action{};
+      continue;
     }
     util::CoinStream coins(seed_, static_cast<std::uint64_t>(v),
                            static_cast<std::uint64_t>(round_));
-    current_actions_[static_cast<std::size_t>(v)] =
-        processes_[static_cast<std::size_t>(v)]->onRound(round_, coins);
-    const Action& a = current_actions_[static_cast<std::size_t>(v)];
+    current_actions_[idx] = processes_[idx]->onRound(round_, coins);
+    const Action& a = current_actions_[idx];
     if (a.send) {
       DYNET_CHECK(a.msg.bitSize() <= budget_bits_)
           << "node " << v << " round " << round_ << " message of "
           << a.msg.bitSize() << " bits exceeds budget " << budget_bits_;
       ++result_.messages_sent;
       result_.bits_sent += static_cast<std::uint64_t>(a.msg.bitSize());
-      result_.bits_per_node[static_cast<std::size_t>(v)] +=
+      result_.bits_per_node[idx] +=
           static_cast<std::uint64_t>(a.msg.bitSize());
+      if (result_.bits_per_node[idx] > result_.max_bits_per_node) {
+        result_.max_bits_per_node = result_.bits_per_node[idx];
+      }
+      if (obs_ != nullptr) {
+        obs_->bits_per_send->observe(static_cast<double>(a.msg.bitSize()));
+      }
     }
+  }
+  if (tracer != nullptr) {
+    const double now = tracer->nowUs();
+    tracer->span("process_step", span_start, now,
+                 {{"round", static_cast<double>(round_)}});
+    span_start = now;
   }
 
   // 3. Adversary fixes the topology after observing the actions.
@@ -132,6 +224,13 @@ bool Engine::step() {
   }
   if (config_.record_actions) {
     actions_.push_back(current_actions_);
+  }
+  if (tracer != nullptr) {
+    const double now = tracer->nowUs();
+    tracer->span("adversary_pick", span_start, now,
+                 {{"round", static_cast<double>(round_)},
+                  {"edges", static_cast<double>(g->numEdges())}});
+    span_start = now;
   }
 
   // 4. Delivery: every receiving node gets the messages of its sending
@@ -164,10 +263,16 @@ bool Engine::step() {
         const auto fate = injector_->deliveryFate(u, v, round_);
         if (fate == faults::FaultPlan::Fate::kDrop) {
           ++result_.messages_dropped;
+          if (obs_ != nullptr) {
+            obs_->messages_dropped->inc();
+          }
           continue;
         }
         if (fate == faults::FaultPlan::Fate::kCorrupt) {
           ++result_.messages_corrupted;
+          if (obs_ != nullptr) {
+            obs_->messages_corrupted->inc();
+          }
           if (!injector_->plan().config().deliver_corrupted) {
             continue;  // link-layer CRC catches it
           }
@@ -179,6 +284,10 @@ bool Engine::step() {
     }
     processes_[static_cast<std::size_t>(v)]->onDeliver(round_, false, inbox_);
   }
+  if (tracer != nullptr) {
+    tracer->span("delivery", span_start, tracer->nowUs(),
+                 {{"round", static_cast<double>(round_)}});
+  }
 
   for (NodeId v = 0; v < n; ++v) {
     if (result_.done_round[static_cast<std::size_t>(v)] < 0 &&
@@ -187,6 +296,11 @@ bool Engine::step() {
     }
   }
   result_.rounds_executed = round_;
+  result_.bits_per_round.push_back(result_.bits_sent - bits_before);
+  if (obs_ != nullptr) {
+    emitRoundObservations(result_.bits_sent - bits_before,
+                          result_.messages_sent - messages_before);
+  }
   if (!result_.all_done && allDone()) {
     result_.all_done = true;
     result_.all_done_round = round_;
@@ -194,13 +308,41 @@ bool Engine::step() {
   return true;
 }
 
+void Engine::finalizeMetrics() {
+  if (obs_ == nullptr) {
+    return;
+  }
+  auto& reg = obs_->sink->registry;
+  reg.gauge("engine/rounds")->set(static_cast<double>(result_.rounds_executed));
+  reg.gauge("engine/all_done")->set(result_.all_done ? 1.0 : 0.0);
+  reg.gauge("engine/all_done_round")
+      ->set(static_cast<double>(result_.all_done_round));
+  reg.gauge("engine/max_bits_per_node")
+      ->set(static_cast<double>(result_.max_bits_per_node));
+  obs::Series* node_bits = reg.series("node/bits_sent");
+  obs::Series* node_done = reg.series("node/done_round");
+  std::vector<std::pair<std::string, double>> exported;
+  for (NodeId v = 0; v < static_cast<NodeId>(processes_.size()); ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    node_bits->setAt(idx, static_cast<double>(result_.bits_per_node[idx]));
+    node_done->setAt(idx, static_cast<double>(result_.done_round[idx]));
+    exported.clear();
+    processes_[idx]->exportMetrics(exported);
+    for (const auto& [key, value] : exported) {
+      reg.series("node/" + key)->setAt(idx, value);
+    }
+  }
+}
+
 RunResult Engine::run() {
+  DYNET_PROF("engine/run");
   while (round_ < config_.max_rounds) {
     if (config_.stop_when_all_done && result_.all_done) {
       break;
     }
     step();
   }
+  finalizeMetrics();
   return result_;
 }
 

@@ -19,6 +19,10 @@ namespace dynet::faults {
 class FaultInjector;
 }  // namespace dynet::faults
 
+namespace dynet::obs {
+struct MetricsSink;
+}  // namespace dynet::obs
+
 namespace dynet::sim {
 
 /// Message budget used throughout: a fixed constant multiple of log N.
@@ -40,6 +44,14 @@ struct EngineConfig {
   /// Stop as soon as every process reports done().  With a FaultInjector,
   /// crashed nodes are exempt: the run stops when every live node is done.
   bool stop_when_all_done = true;
+  /// Optional observability sink (not owned; must outlive the engine).
+  /// Null (the default) disables the layer entirely — the hot path pays one
+  /// branch and the run is byte-identical to one without a sink (pinned by
+  /// tests/obs_test.cpp).  With a sink, the engine records the named
+  /// metrics of docs/OBSERVABILITY.md and, when sink->trace is set, one
+  /// span per round phase.  The registry is not thread-safe: attach a sink
+  /// to one engine at a time.
+  obs::MetricsSink* metrics = nullptr;
 };
 
 struct RunResult {
@@ -53,6 +65,11 @@ struct RunResult {
   std::uint64_t bits_sent = 0;
   /// Per node: total payload bits sent (load/fairness analysis).
   std::vector<std::uint64_t> bits_per_node;
+  /// Largest entry of bits_per_node, maintained per round — the per-node
+  /// load claims of EXPERIMENTS.md without a record_actions replay.
+  std::uint64_t max_bits_per_node = 0;
+  /// Per round (index = round - 1): payload bits sent in that round.
+  std::vector<std::uint64_t> bits_per_round;
 
   // Fault accounting (all zero without a FaultInjector or with a zero plan).
   /// Crash-stop events (a node that restarts and crashes again counts once
@@ -73,6 +90,10 @@ class Engine {
   Engine(std::vector<std::unique_ptr<Process>> processes,
          std::unique_ptr<Adversary> adversary, EngineConfig config,
          std::uint64_t seed);
+  // Out-of-line: ObsHandles is incomplete here.
+  ~Engine();
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) = delete;
 
   /// Attaches a fault-injection hook; must be called before the first
   /// step().  A null injector (the default) reproduces the clean model
@@ -100,7 +121,17 @@ class Engine {
   const RunResult& result() const { return result_; }
   int budgetBits() const { return budget_bits_; }
 
+  /// Writes the end-of-run metrics (final gauges, per-node series, each
+  /// process's exportMetrics scalars) into the attached sink.  Idempotent;
+  /// run() calls it automatically — call it yourself only when driving the
+  /// engine through step() directly.  No-op without a sink.
+  void finalizeMetrics();
+
  private:
+  struct ObsHandles;  // pre-resolved registry handles (engine.cpp)
+
+  void emitRoundObservations(std::uint64_t round_bits,
+                             std::uint64_t round_messages);
   std::vector<std::unique_ptr<Process>> processes_;
   std::unique_ptr<Adversary> adversary_;
   EngineConfig config_;
@@ -108,6 +139,7 @@ class Engine {
   int budget_bits_;
   Round round_ = 0;
   std::shared_ptr<const faults::FaultInjector> injector_;
+  std::unique_ptr<ObsHandles> obs_;  // null unless config_.metrics is set
 
   net::TopologySeq topologies_;
   std::vector<std::vector<Action>> actions_;

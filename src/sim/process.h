@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/message.h"
@@ -57,6 +59,17 @@ class Process {
   /// Optional structural digest of the full state, for cross-validating the
   /// two-party simulation against the reference execution.
   virtual std::uint64_t stateDigest() const { return 0; }
+
+  /// Optional named scalar metrics describing the process's current state
+  /// (retransmissions, lock attempts, token arrival round, ...).  With an
+  /// obs::MetricsSink attached, Engine::finalizeMetrics collects each key k
+  /// into the per-node series `node/<k>` (docs/OBSERVABILITY.md catalogs
+  /// the names protocols export).  Appending to `out` keeps sim free of an
+  /// obs dependency.
+  virtual void exportMetrics(
+      std::vector<std::pair<std::string, double>>& out) const {
+    (void)out;
+  }
 };
 
 /// Creates the Process for a given node; used by the engine, the reference

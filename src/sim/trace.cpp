@@ -6,12 +6,14 @@
 #include <sstream>
 #include <string>
 
+#include "obs/prof.h"
 #include "sim/engine.h"
 #include "util/check.h"
 
 namespace dynet::sim {
 
 void writeTrace(std::ostream& out, const Trace& trace) {
+  DYNET_PROF("sim/write_trace");
   DYNET_CHECK(trace.num_nodes >= 1) << "empty trace";
   DYNET_CHECK(trace.actions.empty() ||
               trace.actions.size() == trace.topologies.size())
@@ -46,6 +48,7 @@ void writeTrace(std::ostream& out, const Trace& trace) {
 }
 
 Trace readTrace(std::istream& in) {
+  DYNET_PROF("sim/read_trace");
   Trace trace;
   std::string line;
   DYNET_CHECK(std::getline(in, line) && line == "dynet-trace v1")

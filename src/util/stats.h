@@ -8,7 +8,14 @@
 namespace dynet::util {
 
 /// Accumulates samples; supports mean/stddev/min/max/percentiles.
-/// Percentile queries sort an internal copy on demand.
+///
+/// Percentile queries sort an internal copy on demand and cache it: the
+/// first percentile()/median() call after an add() pays one O(n log n)
+/// sort, further queries are O(1) lookups, and the next add() invalidates
+/// the cache (the `mutable` members exist solely for this cache, which is
+/// why percentile() stays const).  Interleaving add() and percentile() in
+/// a loop therefore re-sorts every iteration — batch the adds first.
+/// Not thread-safe, including the const query methods.
 class Summary {
  public:
   void add(double x) {
@@ -25,6 +32,8 @@ class Summary {
   /// p in [0, 1]; linear interpolation between order statistics.
   double percentile(double p) const;
   double median() const { return percentile(0.5); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
 
  private:
   mutable std::vector<double> samples_;

@@ -1,0 +1,397 @@
+// Observability layer: metrics registry semantics, JSON round trips,
+// trace-event output, DYNET_PROF, and — most importantly — the engine
+// integration contracts: a null sink is byte-identical to no sink, sink
+// metrics agree with RunResult, and metrics.json is deterministic for
+// identical seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "adversary/churn_adversaries.h"
+#include "adversary/dynamic_adversaries.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/sink.h"
+#include "obs/trace_events.h"
+#include "protocols/flood.h"
+#include "protocols/resilient_flood.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "util/check.h"
+
+namespace dynet {
+namespace {
+
+using sim::NodeId;
+using sim::Round;
+
+// ---------------------------------------------------------------- registry
+
+TEST(Metrics, HandlesAreStableAndSharedByName) {
+  obs::MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  obs::Counter* c = registry.counter("a");
+  c->inc();
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler/" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.counter("a"), c);  // same handle after 100 inserts
+  registry.counter("a")->inc(2);
+  EXPECT_EQ(c->value, 3u);
+  EXPECT_FALSE(registry.empty());
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  obs::Histogram h({1, 10, 100});
+  h.observe(1);    // first bucket (x <= bound)
+  h.observe(5);
+  h.observe(50);
+  h.observe(500);  // overflow
+  ASSERT_EQ(h.bucketCounts().size(), 4u);
+  EXPECT_EQ(h.bucketCounts()[0], 1u);
+  EXPECT_EQ(h.bucketCounts()[1], 1u);
+  EXPECT_EQ(h.bucketCounts()[2], 1u);
+  EXPECT_EQ(h.bucketCounts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 556);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 500);
+  // Percentile estimates stay clamped to [min, max] and are monotone.
+  EXPECT_DOUBLE_EQ(h.percentileEstimate(0), 1);
+  EXPECT_DOUBLE_EQ(h.percentileEstimate(1), 500);
+  EXPECT_LE(h.percentileEstimate(0.25), h.percentileEstimate(0.75));
+}
+
+TEST(Metrics, SeriesSetAtZeroFills) {
+  obs::Series s;
+  s.setAt(3, 7);
+  ASSERT_EQ(s.values().size(), 4u);
+  EXPECT_DOUBLE_EQ(s.values()[0], 0);
+  EXPECT_DOUBLE_EQ(s.values()[3], 7);
+  s.setAt(0, 1);  // overwrite without resizing
+  EXPECT_DOUBLE_EQ(s.values()[0], 1);
+  EXPECT_EQ(s.values().size(), 4u);
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(Json, MetricsRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.counter("engine/messages_sent")->inc(12345);
+  registry.gauge("engine/rounds")->set(17.5);
+  obs::Histogram* h = registry.histogram("lat", {1, 2, 4});
+  h->observe(3);
+  registry.series("round/bits")->append(8);
+  registry.series("round/bits")->append(16);
+
+  const obs::Json root = obs::Json::parse(registry.toJson());
+  EXPECT_DOUBLE_EQ(root.at("dynet_metrics").number(), 1);
+  EXPECT_DOUBLE_EQ(root.at("counters").at("engine/messages_sent").number(),
+                   12345);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("engine/rounds").number(), 17.5);
+  const obs::Json& hist = root.at("histograms").at("lat");
+  EXPECT_DOUBLE_EQ(hist.at("count").number(), 1);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number(), 3);
+  ASSERT_EQ(hist.at("bounds").items().size(), 3u);
+  ASSERT_EQ(hist.at("counts").items().size(), 4u);
+  EXPECT_DOUBLE_EQ(hist.at("counts").items()[2].number(), 1);
+  const auto& series = root.at("series").at("round/bits").items();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[1].number(), 16);
+}
+
+TEST(Json, ParsesEscapesAndNesting) {
+  const obs::Json v = obs::Json::parse(
+      R"({"a": [1, -2.5e2, true, false, null], "b\n": {"c": "x\"y"}})");
+  EXPECT_DOUBLE_EQ(v.at("a").items()[1].number(), -250);
+  EXPECT_TRUE(v.at("a").items()[2].boolean());
+  EXPECT_EQ(v.at("b\n").at("c").str(), "x\"y");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(obs::Json::parse(""), util::CheckError);
+  EXPECT_THROW(obs::Json::parse("{"), util::CheckError);
+  EXPECT_THROW(obs::Json::parse("{\"a\": 1,}"), util::CheckError);
+  EXPECT_THROW(obs::Json::parse("[1 2]"), util::CheckError);
+  EXPECT_THROW(obs::Json::parse("nul"), util::CheckError);
+  EXPECT_THROW(obs::Json::parse("{} trailing"), util::CheckError);
+}
+
+TEST(Json, LargeCountersRoundTripExactly) {
+  obs::MetricsRegistry registry;
+  const std::uint64_t big = (std::uint64_t{1} << 53) - 1;  // exact in double
+  registry.counter("big")->inc(big);
+  const obs::Json root = obs::Json::parse(registry.toJson());
+  EXPECT_EQ(static_cast<std::uint64_t>(root.at("counters").at("big").number()),
+            big);
+}
+
+// ----------------------------------------------------------- trace events
+
+TEST(TraceEvents, ChromeTraceAndJsonlAreWellFormed) {
+  obs::TraceWriter writer;
+  writer.span("phase", 1, 5, {{"round", 3}});
+  writer.counter("bits", 5, 42);
+  writer.instant("marker", 6);
+  ASSERT_EQ(writer.events().size(), 3u);
+
+  std::ostringstream chrome;
+  writer.writeChromeTrace(chrome);
+  const obs::Json root = obs::Json::parse(chrome.str());
+  const auto& events = root.at("traceEvents").items();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("name").str(), "phase");
+  EXPECT_EQ(events[0].at("ph").str(), "X");
+  EXPECT_DOUBLE_EQ(events[0].at("dur").number(), 4);
+  EXPECT_DOUBLE_EQ(events[0].at("args").at("round").number(), 3);
+  EXPECT_EQ(events[1].at("ph").str(), "C");
+  EXPECT_EQ(events[2].at("ph").str(), "i");
+
+  std::ostringstream jsonl;
+  writer.writeJsonl(jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    const obs::Json event = obs::Json::parse(line);
+    EXPECT_TRUE(event.has("name"));
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 3);
+}
+
+TEST(TraceEvents, BufferCapCountsDropped) {
+  obs::TraceWriter writer(/*max_events=*/2);
+  writer.instant("a", 0);
+  writer.instant("b", 1);
+  writer.instant("c", 2);
+  EXPECT_EQ(writer.events().size(), 2u);
+  EXPECT_EQ(writer.dropped(), 1u);
+}
+
+// -------------------------------------------------------------- profiling
+
+TEST(Prof, ScopedTimersAggregateIntoRegistry) {
+  obs::MetricsRegistry registry;
+  {
+    obs::ProfScope scope(&registry);
+    for (int i = 0; i < 3; ++i) {
+      DYNET_PROF("test/op");
+    }
+  }
+  EXPECT_EQ(registry.counters().at("prof/test/op/calls").value, 3u);
+  EXPECT_EQ(registry.histograms().at("prof/test/op/us").count(), 3u);
+  {
+    // No scope installed: DYNET_PROF is a no-op, not a crash.
+    DYNET_PROF("test/ignored");
+  }
+  EXPECT_EQ(registry.counters().count("prof/test/ignored/calls"), 0u);
+}
+
+// ------------------------------------------------------ engine integration
+
+struct BuiltRun {
+  std::unique_ptr<sim::Engine> engine;
+  sim::RunResult result;
+};
+
+BuiltRun runFlood(NodeId n, std::uint64_t seed, obs::MetricsSink* sink,
+                  const faults::FaultConfig* fc = nullptr) {
+  proto::FloodFactory factory(0, 0x2a, 8, proto::FloodMode::kRandomized,
+                              /*halt_round=*/60);
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::EngineConfig config;
+  config.max_rounds = 80;
+  config.record_topologies = true;
+  config.record_actions = true;
+  config.stop_when_all_done = false;
+  config.metrics = sink;
+  auto engine = std::make_unique<sim::Engine>(
+      std::move(ps),
+      std::make_unique<adv::RandomGraphAdversary>(n, 0.5, /*seed=*/9), config,
+      seed);
+  if (fc != nullptr) {
+    // Plan seed derived from the run seed: different seeds get different
+    // fault schedules, identical seeds replay the same one.
+    engine->setFaultInjector(std::make_shared<const faults::FaultInjector>(
+        faults::FaultPlan(n, *fc, seed * 0x9E3779B97F4A7C15ULL + 0xFA),
+        &factory));
+  }
+  BuiltRun run;
+  run.result = engine->run();
+  run.engine = std::move(engine);
+  return run;
+}
+
+TEST(EngineObs, NullSinkRunIsByteIdenticalToSinkRun) {
+  // The observability layer must be read-only: attaching a sink changes
+  // nothing about the execution (results, per-process state, full trace).
+  const NodeId n = 16;
+  obs::MetricsSink sink;
+  const BuiltRun with = runFlood(n, 123, &sink);
+  const BuiltRun without = runFlood(n, 123, nullptr);
+  EXPECT_EQ(with.result.rounds_executed, without.result.rounds_executed);
+  EXPECT_EQ(with.result.done_round, without.result.done_round);
+  EXPECT_EQ(with.result.messages_sent, without.result.messages_sent);
+  EXPECT_EQ(with.result.bits_sent, without.result.bits_sent);
+  EXPECT_EQ(with.result.bits_per_node, without.result.bits_per_node);
+  EXPECT_EQ(with.result.bits_per_round, without.result.bits_per_round);
+  EXPECT_EQ(with.result.max_bits_per_node, without.result.max_bits_per_node);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(with.engine->process(v).stateDigest(),
+              without.engine->process(v).stateDigest());
+  }
+  std::ostringstream trace_with;
+  std::ostringstream trace_without;
+  sim::writeTrace(trace_with, sim::traceFromEngine(*with.engine));
+  sim::writeTrace(trace_without, sim::traceFromEngine(*without.engine));
+  EXPECT_EQ(trace_with.str(), trace_without.str());
+}
+
+TEST(EngineObs, SinkMetricsAgreeWithRunResult) {
+  obs::MetricsSink sink;
+  const BuiltRun run = runFlood(16, 5, &sink);
+  const auto& reg = sink.registry;
+  EXPECT_EQ(reg.counters().at("engine/messages_sent").value,
+            run.result.messages_sent);
+  EXPECT_EQ(reg.counters().at("engine/bits_sent").value,
+            run.result.bits_sent);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("engine/rounds").value,
+                   static_cast<double>(run.result.rounds_executed));
+  EXPECT_DOUBLE_EQ(reg.gauges().at("engine/max_bits_per_node").value,
+                   static_cast<double>(run.result.max_bits_per_node));
+  const auto& round_bits = reg.allSeries().at("round/bits_sent").values();
+  ASSERT_EQ(round_bits.size(),
+            static_cast<std::size_t>(run.result.rounds_executed));
+  double total = 0;
+  for (const double b : round_bits) {
+    total += b;
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(run.result.bits_sent));
+  const auto& node_bits = reg.allSeries().at("node/bits_sent").values();
+  ASSERT_EQ(node_bits.size(), run.result.bits_per_node.size());
+  std::uint64_t max_node = 0;
+  for (std::size_t v = 0; v < node_bits.size(); ++v) {
+    EXPECT_DOUBLE_EQ(node_bits[v],
+                     static_cast<double>(run.result.bits_per_node[v]));
+    max_node = std::max(max_node, run.result.bits_per_node[v]);
+  }
+  EXPECT_EQ(run.result.max_bits_per_node, max_node);
+  EXPECT_EQ(reg.histograms().at("engine/bits_per_send").count(),
+            run.result.messages_sent);
+  // Protocol exportMetrics hook: flood/has_token per node.
+  EXPECT_EQ(reg.allSeries().at("node/flood/has_token").values().size(),
+            static_cast<std::size_t>(16));
+}
+
+TEST(EngineObs, FaultCountersAgreeWithRunResult) {
+  faults::FaultConfig fc;
+  fc.drop_prob = 0.2;
+  fc.corrupt_prob = 0.1;
+  // Detect-and-drop corruption: the plain FloodProcess rejects mangled
+  // tokens loudly, so mangled payloads must not reach it.
+  fc.deliver_corrupted = false;
+  fc.crash_fraction = 0.25;
+  fc.crash_window = 20;
+  fc.restart = true;
+  fc.restart_downtime = 10;
+  obs::MetricsSink sink;
+  const BuiltRun run = runFlood(16, 7, &sink, &fc);
+  EXPECT_GT(run.result.messages_dropped, 0u);
+  EXPECT_GT(run.result.crashes, 0u);
+  const auto& reg = sink.registry;
+  EXPECT_EQ(reg.counters().at("faults/messages_dropped").value,
+            run.result.messages_dropped);
+  EXPECT_EQ(reg.counters().at("faults/messages_corrupted").value,
+            run.result.messages_corrupted);
+  EXPECT_EQ(reg.counters().at("faults/crashes").value, run.result.crashes);
+  EXPECT_EQ(reg.counters().at("faults/restarts").value, run.result.restarts);
+}
+
+TEST(EngineObs, MetricsJsonDeterministicForIdenticalSeeds) {
+  // The determinism contract of docs/OBSERVABILITY.md: same seed, same
+  // metrics.json, byte for byte (no prof timers installed here — wall-clock
+  // prof/ metrics are the documented exception).
+  faults::FaultConfig fc;
+  fc.drop_prob = 0.1;
+  fc.crash_fraction = 0.2;
+  fc.crash_window = 16;
+  obs::MetricsSink a;
+  obs::MetricsSink b;
+  runFlood(16, 42, &a, &fc);
+  runFlood(16, 42, &b, &fc);
+  EXPECT_FALSE(a.registry.empty());
+  EXPECT_EQ(a.registry.toJson(), b.registry.toJson());
+  obs::MetricsSink c;
+  runFlood(16, 43, &c, &fc);
+  EXPECT_NE(a.registry.toJson(), c.registry.toJson());  // seed matters
+}
+
+TEST(EngineObs, RoundPhaseSpansCoverEveryRound) {
+  obs::TraceWriter writer;
+  obs::MetricsSink sink;
+  sink.trace = &writer;
+  faults::FaultConfig fc;
+  fc.crash_fraction = 0.2;
+  fc.crash_window = 20;
+  const BuiltRun run = runFlood(16, 11, &sink, &fc);
+  std::map<std::string, int> spans;
+  for (const obs::TraceEvent& event : writer.events()) {
+    if (event.ph == 'X') {
+      ++spans[event.name];
+    }
+  }
+  const int rounds = static_cast<int>(run.result.rounds_executed);
+  EXPECT_EQ(spans["adversary_pick"], rounds);
+  EXPECT_EQ(spans["process_step"], rounds);
+  EXPECT_EQ(spans["delivery"], rounds);
+  EXPECT_EQ(spans["fault_hook"], rounds);  // injector attached
+}
+
+TEST(EngineObs, SequentialEnginesAggregateIntoSharedSink) {
+  obs::MetricsSink sink;
+  const BuiltRun first = runFlood(8, 1, &sink);
+  const BuiltRun second = runFlood(8, 2, &sink);
+  EXPECT_EQ(sink.registry.counters().at("engine/messages_sent").value,
+            first.result.messages_sent + second.result.messages_sent);
+}
+
+TEST(EngineObs, ResilientFloodExportsRetransmissions) {
+  const NodeId n = 12;
+  proto::ResilientFloodFactory factory{proto::ResilientFloodConfig{}};
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  obs::MetricsSink sink;
+  sim::EngineConfig config;
+  config.max_rounds = 500;
+  config.metrics = &sink;
+  sim::Engine engine(std::move(ps),
+                     std::make_unique<adv::RandomGraphAdversary>(n, 0.3, 3),
+                     config, /*seed=*/21);
+  faults::FaultConfig fc;
+  fc.drop_prob = 0.3;
+  engine.setFaultInjector(std::make_shared<const faults::FaultInjector>(
+      faults::FaultPlan(n, fc, 0xFA), &factory));
+  engine.run();
+  const auto& series = sink.registry.allSeries();
+  ASSERT_EQ(series.count("node/resilient_flood/retransmissions"), 1u);
+  double total_retx = 0;
+  for (const double r : series.at("node/resilient_flood/retransmissions").values()) {
+    total_retx += r;
+  }
+  EXPECT_GT(total_retx, 0) << "30% loss must force re-sends";
+}
+
+}  // namespace
+}  // namespace dynet

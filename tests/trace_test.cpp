@@ -4,7 +4,10 @@
 
 #include <sstream>
 
+#include "adversary/churn_adversaries.h"
 #include "adversary/dynamic_adversaries.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "net/churn.h"
 #include "net/diameter.h"
 #include "protocols/oracles.h"
@@ -117,6 +120,52 @@ TEST(Trace, WideMessageRoundTrip) {
   const Trace parsed = readTrace(buffer);
   ASSERT_TRUE(parsed.actions[0][0].send);
   EXPECT_TRUE(parsed.actions[0][0].msg == actions[0].msg);
+}
+
+TEST(Trace, FaultInjectedRunRoundTrips) {
+  // A run with crashed *and* restarted nodes still serializes and parses:
+  // crashed nodes simply record non-sending actions, which the format
+  // already covers.  The parsed trace must match the recorded one exactly.
+  const NodeId n = 14;
+  proto::RandomBabblerFactory factory(24);
+  std::vector<std::unique_ptr<Process>> ps;
+  for (NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  EngineConfig config;
+  config.max_rounds = 40;
+  config.record_topologies = true;
+  config.record_actions = true;
+  config.stop_when_all_done = false;
+  Engine engine(std::move(ps),
+                std::make_unique<adv::RandomGraphAdversary>(n, 0.25, 4),
+                config, /*seed=*/13);
+  faults::FaultConfig fc;
+  fc.crash_fraction = 0.3;
+  fc.crash_window = 15;
+  fc.restart = true;
+  fc.restart_downtime = 8;
+  fc.drop_prob = 0.1;
+  engine.setFaultInjector(std::make_shared<const faults::FaultInjector>(
+      faults::FaultPlan(n, fc, /*seed=*/0xC0), &factory));
+  const RunResult result = engine.run();
+  ASSERT_GT(result.crashes, 0u);
+  ASSERT_GT(result.restarts, 0u);
+
+  const Trace original = traceFromEngine(engine);
+  std::stringstream buffer;
+  writeTrace(buffer, original);
+  const Trace parsed = readTrace(buffer);
+  ASSERT_EQ(parsed.rounds(), original.rounds());
+  for (Round r = 0; r < original.rounds(); ++r) {
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_TRUE(original.actions[static_cast<std::size_t>(r)]
+                                  [static_cast<std::size_t>(v)] ==
+                  parsed.actions[static_cast<std::size_t>(r)]
+                                [static_cast<std::size_t>(v)])
+          << "round " << r << " node " << v;
+    }
+  }
 }
 
 TEST(Trace, EngineWithoutRecordingRejected) {

@@ -227,6 +227,33 @@ TEST(Summary, EmptyRejected) {
   EXPECT_THROW(s.percentile(0.5), CheckError);
 }
 
+TEST(Summary, SortCacheInvalidatedByAdd) {
+  // The percentile sort-cache must not serve stale order statistics after
+  // an interleaved add() (the documented invalidation contract in stats.h).
+  Summary s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);  // populates the cache
+  s.add(0.0);                          // invalidates it
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  s.add(30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 30.0);
+}
+
+TEST(Summary, TailPercentileConveniences) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.p95(), s.percentile(0.95));
+  EXPECT_DOUBLE_EQ(s.p99(), s.percentile(0.99));
+  EXPECT_NEAR(s.p95(), 95.05, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 1e-9);
+  EXPECT_LE(s.median(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+}
+
 TEST(Table, RendersAligned) {
   Table t({"name", "value"});
   t.row().cell("alpha").cell(std::int64_t{42});

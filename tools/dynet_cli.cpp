@@ -1,14 +1,17 @@
 // dynet_cli — run any bundled protocol against any bundled adversary from
-// the command line; print metrics and (optionally) dump the full trace.
+// the command line; print metrics and (optionally) dump the full trace plus
+// observability artifacts.
 //
-//   $ dynet_cli --protocol leader_unknown_d --adversary random_tree \
+//   $ dynet_cli --protocol leader_unknown_d --adversary random_tree
 //               --nodes 64 --seed 7 [--trace out.trace] [--max-rounds M]
+//               [--metrics-out metrics.json] [--chrome-trace trace.json]
+//               [--trace-jsonl events.jsonl]
 //
-// Protocols:  flood | cflood | leader_known_d | consensus_known_d |
-//             count | hear_from_n | leader_unknown_d | consensus_unknown_d
-// Adversaries: static_path | static_star | static_ring | static_torus |
-//              random_tree | anchored_star | rotating_star | shuffle_path |
-//              interval | edge_churn | gnp | dual_ring
+// `--list` prints the valid protocol/adversary names; an unknown name does
+// the same and exits non-zero.  --metrics-out writes the metric catalog of
+// docs/OBSERVABILITY.md (summarize or diff it with dynet_stats);
+// --chrome-trace writes round-phase spans loadable in chrome://tracing /
+// Perfetto; --trace-jsonl the same events one-per-line.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -19,6 +22,8 @@
 #include "adversary/static_adversaries.h"
 #include "net/churn.h"
 #include "net/diameter.h"
+#include "obs/prof.h"
+#include "obs/sink.h"
 #include "protocols/cflood.h"
 #include "protocols/consensus_known_d.h"
 #include "protocols/consensus_via_leader.h"
@@ -34,6 +39,38 @@
 
 namespace dynet {
 namespace {
+
+const std::vector<std::string>& protocolNames() {
+  static const std::vector<std::string> names = {
+      "flood",       "cflood",           "leader_known_d",
+      "consensus_known_d", "count",      "hear_from_n",
+      "leader_unknown_d",  "consensus_unknown_d"};
+  return names;
+}
+
+const std::vector<std::string>& adversaryNames() {
+  static const std::vector<std::string> names = {
+      "static_path",  "static_star",   "static_ring", "static_torus",
+      "random_tree",  "anchored_star", "rotating_star", "shuffle_path",
+      "interval",     "edge_churn",    "gnp",         "dual_ring"};
+  return names;
+}
+
+void printNameList(std::ostream& out, const std::string& label,
+                   const std::vector<std::string>& names) {
+  out << label << ":";
+  for (const std::string& name : names) {
+    out << " " << name;
+  }
+  out << "\n";
+}
+
+[[noreturn]] void failUnknown(const std::string& kind, const std::string& name,
+                              const std::vector<std::string>& valid) {
+  std::cerr << "unknown " << kind << " '" << name << "'\n";
+  printNameList(std::cerr, "valid " + kind + " names", valid);
+  std::exit(2);
+}
 
 std::unique_ptr<sim::Adversary> makeAdversary(const std::string& name,
                                               sim::NodeId n, std::uint64_t seed,
@@ -80,18 +117,25 @@ std::unique_ptr<sim::Adversary> makeAdversary(const std::string& name,
     return adv::makeRingWithChords(n, adv::DualGraphPolicy::kRandom,
                                    cli.real("p", 0.5), seed);
   }
-  std::cerr << "unknown adversary '" << name << "'\n";
-  std::exit(2);
+  failUnknown("adversary", name, adversaryNames());
 }
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (cli.flag("list")) {
+    printNameList(std::cout, "protocols", protocolNames());
+    printNameList(std::cout, "adversaries", adversaryNames());
+    return 0;
+  }
   const std::string protocol = cli.str("protocol", "leader_unknown_d");
   const std::string adversary_name = cli.str("adversary", "random_tree");
   const auto n = static_cast<sim::NodeId>(cli.integer("nodes", 64));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
   const int diameter = static_cast<int>(cli.integer("diameter", 8));
   const std::string trace_path = cli.str("trace", "");
+  const std::string metrics_path = cli.str("metrics-out", "");
+  const std::string chrome_path = cli.str("chrome-trace", "");
+  const std::string jsonl_path = cli.str("trace-jsonl", "");
   const auto max_rounds =
       static_cast<sim::Round>(cli.integer("max-rounds", 20'000'000));
 
@@ -135,11 +179,24 @@ int run(int argc, char** argv) {
       factory = std::make_unique<proto::LeaderElectFactory>(config, seed);
     }
   } else {
-    std::cerr << "unknown protocol '" << protocol << "'\n";
-    return 2;
+    failUnknown("protocol", protocol, protocolNames());
   }
   auto adversary = makeAdversary(adversary_name, n, seed, cli);
   cli.rejectUnknown();
+
+  // Observability plumbing: one sink for engine metrics and DYNET_PROF
+  // timers, one trace writer shared by the Chrome/JSONL outputs.
+  const bool want_metrics = !metrics_path.empty();
+  const bool want_spans = !chrome_path.empty() || !jsonl_path.empty();
+  obs::TraceWriter trace_writer;
+  obs::MetricsSink sink;
+  if (want_spans) {
+    sink.trace = &trace_writer;
+  }
+  std::unique_ptr<obs::ProfScope> prof;
+  if (want_metrics) {
+    prof = std::make_unique<obs::ProfScope>(&sink.registry);
+  }
 
   std::vector<std::unique_ptr<sim::Process>> processes;
   for (sim::NodeId v = 0; v < n; ++v) {
@@ -149,6 +206,9 @@ int run(int argc, char** argv) {
   config.max_rounds = max_rounds;
   config.record_topologies = true;
   config.record_actions = !trace_path.empty();
+  if (want_metrics || want_spans) {
+    config.metrics = &sink;
+  }
   sim::Engine engine(std::move(processes), std::move(adversary), config, seed);
   const auto result = engine.run();
 
@@ -160,6 +220,7 @@ int run(int argc, char** argv) {
   table.row().cell("rounds").cell(static_cast<std::int64_t>(result.all_done_round));
   table.row().cell("messages").cell(result.messages_sent);
   table.row().cell("bits").cell(result.bits_sent);
+  table.row().cell("max bits/node").cell(result.max_bits_per_node);
   const int max_start = std::max(
       0, std::min<int>(8, static_cast<int>(engine.topologies().size()) - n));
   const int realized = net::dynamicDiameter(engine.topologies(), max_start);
@@ -182,6 +243,26 @@ int run(int argc, char** argv) {
     DYNET_CHECK(out.good()) << "cannot open " << trace_path;
     sim::writeTrace(out, sim::traceFromEngine(engine));
     std::cout << "trace written to " << trace_path << "\n";
+  }
+  prof.reset();  // flush prof timers before the registry is exported
+  if (want_metrics) {
+    std::ofstream out(metrics_path);
+    DYNET_CHECK(out.good()) << "cannot open " << metrics_path;
+    sink.registry.writeJson(out);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    DYNET_CHECK(out.good()) << "cannot open " << chrome_path;
+    trace_writer.writeChromeTrace(out);
+    std::cout << "chrome trace written to " << chrome_path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!jsonl_path.empty()) {
+    std::ofstream out(jsonl_path);
+    DYNET_CHECK(out.good()) << "cannot open " << jsonl_path;
+    trace_writer.writeJsonl(out);
+    std::cout << "trace events written to " << jsonl_path << "\n";
   }
   return result.all_done ? 0 : 1;
 }

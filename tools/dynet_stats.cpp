@@ -1,0 +1,201 @@
+// dynet_stats — summarize and diff metrics.json files emitted by the
+// observability layer (dynet_cli / benches with --metrics-out).
+//
+//   $ dynet_stats --in metrics.json
+//       counters and gauges as tables; every series and histogram as
+//       count / mean / p50 / p95 / p99 / max.
+//
+//   $ dynet_stats --in metrics.json --baseline old_metrics.json
+//       two-run diff: counters and gauges side by side with deltas, plus
+//       metrics present in only one of the runs.
+//
+// Malformed input (not JSON, wrong schema version) exits 1 with a message.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace dynet {
+namespace {
+
+obs::Json loadMetrics(const std::string& path) {
+  std::ifstream in(path);
+  DYNET_CHECK(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  obs::Json root = obs::Json::parse(buffer.str());
+  DYNET_CHECK(root.isObject() && root.has("dynet_metrics"))
+      << path << " is not a dynet metrics.json file";
+  return root;
+}
+
+/// Percentile estimate from an exported histogram (same linear
+/// interpolation as obs::Histogram::percentileEstimate, reconstructed from
+/// the JSON bounds/counts/min/max fields).
+double histogramPercentile(const obs::Json& h, double p) {
+  const auto& bounds = h.at("bounds").items();
+  const auto& counts = h.at("counts").items();
+  const double total = h.at("count").number();
+  const double lo = h.at("min").number();
+  const double hi = h.at("max").number();
+  if (total <= 0) {
+    return 0;
+  }
+  const double rank = p * total;
+  double seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double c = counts[i].number();
+    if (c == 0) {
+      continue;
+    }
+    if (seen + c >= rank) {
+      const double bucket_lo =
+          i == 0 ? lo : std::max(lo, bounds[i - 1].number());
+      const double bucket_hi =
+          i < bounds.size() ? std::min(hi, bounds[i].number()) : hi;
+      const double frac = (rank - seen) / c;
+      const double x = bucket_lo + frac * (bucket_hi - bucket_lo);
+      return std::min(hi, std::max(lo, x));
+    }
+    seen += c;
+  }
+  return hi;
+}
+
+void printSummary(const obs::Json& root) {
+  const auto& counters = root.at("counters").members();
+  if (!counters.empty()) {
+    util::Table table({"counter", "value"});
+    for (const auto& [name, value] : counters) {
+      table.row().cell(name).cell(
+          static_cast<std::uint64_t>(value.number()));
+    }
+    std::cout << table.toString() << "\n";
+  }
+  const auto& gauges = root.at("gauges").members();
+  if (!gauges.empty()) {
+    util::Table table({"gauge", "value"});
+    for (const auto& [name, value] : gauges) {
+      table.row().cell(name).cell(value.number(), 3);
+    }
+    std::cout << table.toString() << "\n";
+  }
+  const auto& series = root.at("series").members();
+  if (!series.empty()) {
+    util::Table table(
+        {"series", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, values] : series) {
+      util::Summary summary;
+      for (const obs::Json& v : values.items()) {
+        summary.add(v.number());
+      }
+      auto& row = table.row().cell(name).cell(
+          static_cast<std::int64_t>(summary.count()));
+      if (summary.count() == 0) {
+        row.cell("-").cell("-").cell("-").cell("-").cell("-");
+      } else {
+        row.cell(summary.mean(), 2)
+            .cell(summary.median(), 2)
+            .cell(summary.p95(), 2)
+            .cell(summary.p99(), 2)
+            .cell(summary.max(), 2);
+      }
+    }
+    std::cout << table.toString() << "\n";
+  }
+  const auto& histograms = root.at("histograms").members();
+  if (!histograms.empty()) {
+    util::Table table(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : histograms) {
+      const double count = h.at("count").number();
+      auto& row =
+          table.row().cell(name).cell(static_cast<std::int64_t>(count));
+      if (count <= 0) {
+        row.cell("-").cell("-").cell("-").cell("-").cell("-");
+      } else {
+        row.cell(h.at("sum").number() / count, 2)
+            .cell(histogramPercentile(h, 0.50), 2)
+            .cell(histogramPercentile(h, 0.95), 2)
+            .cell(histogramPercentile(h, 0.99), 2)
+            .cell(h.at("max").number(), 2);
+      }
+    }
+    std::cout << table.toString() << "\n";
+  }
+}
+
+/// Diffs one scalar section ("counters" or "gauges") of two runs: values
+/// side by side with the delta, and rows for one-sided metrics.
+void printScalarDiff(const std::string& section, const obs::Json& current,
+                     const obs::Json& baseline) {
+  const auto& cur = current.at(section).members();
+  const auto& base = baseline.at(section).members();
+  util::Table table({section.substr(0, section.size() - 1), "baseline",
+                     "current", "delta"});
+  bool any = false;
+  for (const auto& [name, value] : cur) {
+    auto& row = table.row().cell(name);
+    const auto it = base.find(name);
+    if (it == base.end()) {
+      row.cell("-").cell(value.number(), 3).cell("(new)");
+    } else {
+      const double delta = value.number() - it->second.number();
+      row.cell(it->second.number(), 3)
+          .cell(value.number(), 3)
+          .cell(delta, 3);
+    }
+    any = true;
+  }
+  for (const auto& [name, value] : base) {
+    if (cur.find(name) == cur.end()) {
+      table.row().cell(name).cell(value.number(), 3).cell("-").cell(
+          "(removed)");
+      any = true;
+    }
+  }
+  if (any) {
+    std::cout << table.toString() << "\n";
+  }
+}
+
+int run(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string in_path = cli.str("in", "");
+  const std::string baseline_path = cli.str("baseline", "");
+  cli.rejectUnknown();
+  if (in_path.empty()) {
+    std::cerr << "usage: dynet_stats --in metrics.json"
+                 " [--baseline old_metrics.json]\n";
+    return 2;
+  }
+  const obs::Json current = loadMetrics(in_path);
+  if (baseline_path.empty()) {
+    printSummary(current);
+    return 0;
+  }
+  const obs::Json baseline = loadMetrics(baseline_path);
+  printScalarDiff("counters", current, baseline);
+  printScalarDiff("gauges", current, baseline);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dynet
+
+int main(int argc, char** argv) {
+  try {
+    return dynet::run(argc, argv);
+  } catch (const dynet::util::CheckError& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}
