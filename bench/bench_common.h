@@ -81,7 +81,9 @@ inline std::vector<std::string> zooNames() {
 ///
 /// The registry is NOT thread-safe: attach the sink to ONE representative
 /// engine run on the bench's main thread, never to engines executed inside
-/// sim::runTrials workers.  Sequential engines may share the sink — the
+/// sim::runTrials workers or sim::BatchRunner bodies (unless the batch
+/// runs with BatchOptions{.threads = 1}).  Sequential engines may share
+/// the sink — the
 /// engine increments counters by per-round deltas, so totals aggregate;
 /// per-node series are overwritten by the last run.  DYNET_PROF timers are
 /// captured into the same registry while the session is alive.
@@ -140,11 +142,15 @@ class ObsSession {
   std::unique_ptr<obs::ProfScope> prof_;
 };
 
-/// Builds an engine over `factory` and the named adversary.
+/// Builds an engine over `factory` and the named adversary.  Pass `ws` when
+/// running many engines back to back (sim::BatchRunner bodies) so the
+/// engine reuses the workspace's scratch capacity instead of allocating a
+/// fresh set of O(N) vectors per trial.
 inline sim::Engine makeEngine(const sim::ProcessFactory& factory,
                               std::unique_ptr<sim::Adversary> adversary,
                               sim::Round max_rounds, std::uint64_t seed,
-                              bool record = false) {
+                              bool record = false,
+                              sim::EngineWorkspace* ws = nullptr) {
   const sim::NodeId n = adversary->numNodes();
   std::vector<std::unique_ptr<sim::Process>> ps;
   ps.reserve(static_cast<std::size_t>(n));
@@ -154,7 +160,7 @@ inline sim::Engine makeEngine(const sim::ProcessFactory& factory,
   sim::EngineConfig config;
   config.max_rounds = max_rounds;
   config.record_topologies = record;
-  return sim::Engine(std::move(ps), std::move(adversary), config, seed);
+  return sim::Engine(std::move(ps), std::move(adversary), config, seed, ws);
 }
 
 /// Realized dynamic diameter of the named adversary at size n (recorded

@@ -1,8 +1,23 @@
 // E9 — infrastructure throughput (google-benchmark): round-engine
 // node-rounds/sec across adversaries, dynamic-diameter solves, and the
 // Γ/Λ adversary edge generation that dominates reduction runs.
+//
+// A second, non-google-benchmark mode compares the Monte Carlo trial
+// runners (invoked as `bench_sim_perf [--quick] batch-vs-sequential`):
+// trials/sec of the historical sequential per-trial-Engine loop (fresh
+// Engine + std::map<std::string,double> per seed, one thread) against
+// sim::BatchRunner (pooled workspaces, dense TrialRecorder metrics,
+// thread-pool fan-out).  It verifies the two paths agree metric for metric
+// before reporting, and emits machine-readable results to
+// BENCH_sim_perf.json (override with --json-out=PATH).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -11,6 +26,10 @@
 #include "lowerbound/composition.h"
 #include "protocols/max_flood.h"
 #include "protocols/oracles.h"
+#include "sim/batch.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dynet {
 namespace {
@@ -84,21 +103,195 @@ void BM_GammaLambdaTopology(benchmark::State& state) {
 }
 BENCHMARK(BM_GammaLambdaTopology)->Arg(61)->Arg(241);
 
+// ------------------------------------------------- batch-vs-sequential mode
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The workload both runners execute: MaxFlood on a rotating star (the
+/// Θ(N)-causal-diameter adversary, so runs go the full horizon).  The
+/// caller supplies the adversary so the two runners can differ in *how*
+/// the topologies are produced while the topology values stay identical.
+sim::RunResult runWorkloadTrial(sim::NodeId n, sim::Round rounds,
+                                std::uint64_t seed,
+                                std::unique_ptr<sim::Adversary> adversary,
+                                sim::EngineWorkspace* ws = nullptr) {
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(n), 1);
+  proto::MaxFloodFactory factory(values, 8, 1 << 20);
+  auto engine = bench::makeEngine(factory, std::move(adversary), rounds, seed,
+                                  /*record=*/false, ws);
+  return engine.run();
+}
+
+/// One full period of the rotating star's topology sequence, pre-warmed.
+/// RotatingStarAdversary rebuilds makeStar(n, (round-1) % n) from scratch
+/// every round of every trial; a PeriodicAdversary over this cycle yields
+/// value-identical graphs while paying construction once.  Sharing the
+/// GraphPtrs across trial threads is safe since Graph's lazy caches went
+/// behind std::call_once (and warm(), which PeriodicAdversary calls).
+std::vector<net::GraphPtr> rotatingStarCycle(sim::NodeId n) {
+  std::vector<net::GraphPtr> stars;
+  stars.reserve(static_cast<std::size_t>(n));
+  for (sim::NodeId center = 0; center < n; ++center) {
+    stars.push_back(net::makeStar(n, center));
+  }
+  return stars;
+}
+
+struct CompareResult {
+  sim::NodeId n = 0;
+  int trials = 0;
+  sim::Round rounds = 0;
+  double sequential_trials_per_sec = 0;
+  double batch_trials_per_sec = 0;
+  double speedup = 0;
+};
+
+CompareResult compareRunners(sim::NodeId n, int trials, sim::Round rounds,
+                             std::uint64_t base_seed) {
+  // Baseline: the pre-BatchRunner shape — one thread, a fresh Engine (own
+  // workspace), per-round topology construction, and a fresh metric map
+  // per trial, merged map-by-map.
+  const double seq_start = nowSeconds();
+  std::map<std::string, util::Summary> sequential;
+  for (int i = 0; i < trials; ++i) {
+    const sim::RunResult r = runWorkloadTrial(
+        n, rounds, util::hashCombine(base_seed, static_cast<std::size_t>(i)),
+        bench::makeAdversary("rotating_star", n, 42));
+    const std::map<std::string, double> metrics = {
+        {"rounds", static_cast<double>(r.rounds_executed)},
+        {"bits", static_cast<double>(r.bits_sent)},
+        {"messages", static_cast<double>(r.messages_sent)},
+        {"max_node_bits", static_cast<double>(r.max_bits_per_node)},
+    };
+    for (const auto& [name, value] : metrics) {
+      sequential[name].add(value);
+    }
+  }
+  const double seq_secs = nowSeconds() - seq_start;
+
+  sim::BatchRunner runner;
+  const sim::MetricId m_rounds = runner.metricId("rounds");
+  const sim::MetricId m_bits = runner.metricId("bits");
+  const sim::MetricId m_messages = runner.metricId("messages");
+  const sim::MetricId m_max_node_bits = runner.metricId("max_node_bits");
+  const double batch_start = nowSeconds();
+  const std::vector<net::GraphPtr> stars = rotatingStarCycle(n);
+  const sim::TrialSummary batch = runner.run(
+      trials, base_seed,
+      [&](std::uint64_t seed, sim::EngineWorkspace& ws,
+          sim::TrialRecorder& rec) {
+        const sim::RunResult r = runWorkloadTrial(
+            n, rounds, seed, std::make_unique<adv::PeriodicAdversary>(stars),
+            &ws);
+        rec.set(m_rounds, static_cast<double>(r.rounds_executed));
+        rec.set(m_bits, static_cast<double>(r.bits_sent));
+        rec.set(m_messages, static_cast<double>(r.messages_sent));
+        rec.set(m_max_node_bits, static_cast<double>(r.max_bits_per_node));
+      });
+  const double batch_secs = nowSeconds() - batch_start;
+
+  // The two paths must agree exactly — same seeds, same engine, same
+  // trial-order merge.  A mismatch means the batch path changed behaviour.
+  for (const auto& [name, summary] : sequential) {
+    const util::Summary& b = batch.metrics.at(name);
+    if (b.count() != summary.count() || b.mean() != summary.mean() ||
+        b.min() != summary.min() || b.max() != summary.max()) {
+      std::cerr << "FATAL: batch/sequential mismatch on metric " << name
+                << " (mean " << b.mean() << " vs " << summary.mean() << ")\n";
+      std::exit(1);
+    }
+  }
+
+  CompareResult out;
+  out.n = n;
+  out.trials = trials;
+  out.rounds = rounds;
+  out.sequential_trials_per_sec = trials / seq_secs;
+  out.batch_trials_per_sec = trials / batch_secs;
+  out.speedup = seq_secs / batch_secs;
+  return out;
+}
+
+int runBatchVsSequential(bool quick, const std::string& json_path) {
+  struct Config {
+    sim::NodeId n;
+    int trials;
+    sim::Round rounds;
+  };
+  const std::vector<Config> configs =
+      quick ? std::vector<Config>{{256, 64, 96}}
+            : std::vector<Config>{{256, 256, 128}, {1024, 96, 128}};
+  std::vector<CompareResult> results;
+  for (const Config& c : configs) {
+    // Warm-up trial outside the timed regions (first allocations, code
+    // paging) so both paths are measured steady-state.
+    runWorkloadTrial(c.n, c.rounds, 0xBEEF,
+                     bench::makeAdversary("rotating_star", c.n, 42));
+    results.push_back(compareRunners(c.n, c.trials, c.rounds, 0x51A7));
+  }
+
+  std::ofstream json(json_path);
+  DYNET_CHECK(json.good()) << "cannot open " << json_path;
+  json << "{\n  \"bench\": \"sim_perf\",\n"
+       << "  \"mode\": \"batch-vs-sequential\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"threads\": " << util::ThreadPool::shared().threadCount()
+       << ",\n  \"workload\": \"max_flood/rotating_star\",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CompareResult& r = results[i];
+    json << "    {\"n\": " << r.n << ", \"trials\": " << r.trials
+         << ", \"rounds\": " << r.rounds
+         << ", \"sequential_trials_per_sec\": " << r.sequential_trials_per_sec
+         << ", \"batch_trials_per_sec\": " << r.batch_trials_per_sec
+         << ", \"speedup\": " << r.speedup << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+
+  for (const CompareResult& r : results) {
+    std::cout << "batch-vs-sequential n=" << r.n << " trials=" << r.trials
+              << " rounds=" << r.rounds << ": sequential "
+              << r.sequential_trials_per_sec << " trials/s, batch "
+              << r.batch_trials_per_sec << " trials/s, speedup " << r.speedup
+              << "x\n";
+  }
+  std::cout << "results written to " << json_path << "\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace dynet
 
 // Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags
 // it does not know, but scripts/check.sh runs every bench with --quick.
 // Translate --quick into a short --benchmark_min_time before Initialize.
+// The positional `batch-vs-sequential` argument selects the trial-runner
+// comparison mode instead of the google-benchmark suites.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool quick = false;
+  bool batch_mode = false;
+  std::string json_path = "BENCH_sim_perf.json";
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--quick") {
+    const std::string_view arg(argv[i]);
+    if (arg == "--quick") {
       quick = true;
+    } else if (arg == "batch-vs-sequential") {
+      batch_mode = true;
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_path = std::string(arg.substr(std::string_view("--json-out=").size()));
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (batch_mode) {
+    return dynet::runBatchVsSequential(quick, json_path);
   }
   static char min_time[] = "--benchmark_min_time=0.02";
   if (quick) {

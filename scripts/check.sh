@@ -33,6 +33,10 @@ build/bench/bench_faults --quick --metrics-out "$obs_dir/bench_metrics.json" \
   > /dev/null
 build/tools/dynet_stats --in "$obs_dir/bench_metrics.json" > /dev/null
 
+echo "=== batch runner smoke (batch-vs-sequential equality + speedup) ==="
+build/bench/bench_sim_perf --quick batch-vs-sequential \
+  --json-out="$obs_dir/BENCH_sim_perf.json"
+
 echo "=== sanitizer build (ASan + UBSan) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DDYNET_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)"

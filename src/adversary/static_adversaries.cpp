@@ -7,6 +7,9 @@ namespace dynet::adv {
 StaticAdversary::StaticAdversary(net::GraphPtr graph) : graph_(std::move(graph)) {
   DYNET_CHECK(graph_ != nullptr) << "null graph";
   DYNET_CHECK(graph_->connected()) << "static topology must be connected";
+  // The same GraphPtr is handed to every round (and possibly to many
+  // engines across trial threads): make it fully immutable up front.
+  graph_->warm();
 }
 
 net::GraphPtr StaticAdversary::topology(sim::Round /*round*/,
@@ -21,6 +24,7 @@ PeriodicAdversary::PeriodicAdversary(std::vector<net::GraphPtr> graphs)
     DYNET_CHECK(g != nullptr && g->connected()) << "bad periodic topology";
     DYNET_CHECK(g->numNodes() == graphs_.front()->numNodes())
         << "periodic topologies must agree on N";
+    g->warm();  // shared across rounds/engines; see StaticAdversary
   }
 }
 

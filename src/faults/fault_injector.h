@@ -1,11 +1,15 @@
-// The hook sim::Engine consults between the send decision and onDeliver.
+// The hook the engine's round pipeline consults: sim::FaultPhase applies
+// scheduled restarts/crashes and builds the live mask at the top of each
+// round, and sim::DeliveryPhase filters every delivery through
+// deliveryFate()/corrupted() (see src/sim/phase.h).
 //
 // A FaultInjector binds a FaultPlan to the machinery needed to apply it:
 // the ProcessFactory that re-creates a node's state machine when it
 // restarts, and the message-mangling rule for corrupted deliveries.  The
 // injector itself is stateless and const — all per-run bookkeeping (crash
-// transitions, fault counters) lives in the engine's RunResult, so one
-// injector can safely serve many engines across Monte Carlo trial threads.
+// transitions, fault counters) lives in the engine's RunResult and
+// EngineWorkspace, so one injector can safely serve many engines across
+// Monte Carlo trial threads.
 #pragma once
 
 #include <memory>

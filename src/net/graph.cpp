@@ -51,9 +51,6 @@ Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
 }
 
 void Graph::buildAdjacency() const {
-  if (!adj_offsets_.empty()) {
-    return;
-  }
   adj_offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
   for (const Edge& e : edges_) {
     ++adj_offsets_[static_cast<std::size_t>(e.a) + 1];
@@ -72,16 +69,13 @@ void Graph::buildAdjacency() const {
 
 std::span<const NodeId> Graph::neighbors(NodeId v) const {
   DYNET_CHECK(v >= 0 && v < num_nodes_) << "node " << v << " out of range";
-  buildAdjacency();
+  ensureAdjacency();
   const auto begin = static_cast<std::size_t>(adj_offsets_[v]);
   const auto end = static_cast<std::size_t>(adj_offsets_[static_cast<std::size_t>(v) + 1]);
   return {adj_list_.data() + begin, end - begin};
 }
 
 void Graph::computeComponents() const {
-  if (component_count_.has_value()) {
-    return;
-  }
   UnionFind uf(num_nodes_);
   int components = num_nodes_;
   for (const Edge& e : edges_) {
@@ -93,13 +87,18 @@ void Graph::computeComponents() const {
 }
 
 bool Graph::connected() const {
-  computeComponents();
+  ensureComponents();
   return *component_count_ == 1;
 }
 
 int Graph::componentCount() const {
-  computeComponents();
+  ensureComponents();
   return *component_count_;
+}
+
+void Graph::warm() const {
+  ensureAdjacency();
+  ensureComponents();
 }
 
 bool Graph::hasEdge(NodeId a, NodeId b) const {

@@ -3,10 +3,20 @@
 // A Graph is the (undirected, simple) topology of one round.  Adjacency
 // (CSR) and connectivity are computed lazily and cached, so adversaries that
 // return the same Graph for many rounds pay once.
+//
+// Thread-safety: the lazy caches are built under std::call_once, so a
+// GraphPtr may be shared freely across threads (Monte Carlo trial workers,
+// the parallel diameter solver) even when several of them race on the first
+// neighbors()/connected() call.  warm() forces both caches eagerly; the
+// engine warms every adversary-returned topology (sim/phase.h,
+// AdversaryPhase) and the static adversaries warm at construction, so by
+// the time a graph is visible to more than one thread it is typically
+// already fully immutable.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <utility>
@@ -39,16 +49,31 @@ class Graph {
   /// Number of connected components.
   int componentCount() const;
 
+  /// Eagerly builds every lazy cache (adjacency CSR, component count).
+  /// Idempotent and thread-safe; after it returns the graph is fully
+  /// immutable.  Adversaries that hand one GraphPtr to many rounds or many
+  /// engines should warm it once up front (the engine also warms each
+  /// round's topology as it is returned).
+  void warm() const;
+
  private:
-  void buildAdjacency() const;
-  void computeComponents() const;
+  void buildAdjacency() const;    // raw builder, reached via adj_once_
+  void computeComponents() const;  // raw builder, reached via components_once_
+  void ensureAdjacency() const {
+    std::call_once(adj_once_, [this] { buildAdjacency(); });
+  }
+  void ensureComponents() const {
+    std::call_once(components_once_, [this] { computeComponents(); });
+  }
 
   NodeId num_nodes_;
   std::vector<Edge> edges_;
 
-  // Lazy caches.  Graphs are logically immutable; callers must not share a
-  // Graph across threads while these are being built (each simulation run is
-  // single-threaded; cross-run sharing is read-only after a warm-up call).
+  // Lazy caches, guarded by std::call_once so concurrent first use from
+  // several threads is safe (the once_flags make Graph immovable, which is
+  // fine: graphs live behind shared_ptr from birth).
+  mutable std::once_flag adj_once_;
+  mutable std::once_flag components_once_;
   mutable std::vector<std::int32_t> adj_offsets_;
   mutable std::vector<NodeId> adj_list_;
   mutable std::optional<int> component_count_;

@@ -1,10 +1,10 @@
 #include "sim/engine.h"
 
-#include <algorithm>
-
 #include "faults/fault_injector.h"
 #include "obs/prof.h"
 #include "obs/sink.h"
+#include "sim/phase.h"
+#include "sim/workspace.h"
 #include "util/check.h"
 
 namespace dynet::sim {
@@ -14,42 +14,9 @@ int defaultBudgetBits(NodeId num_nodes) {
   return 64 + 8 * util::bitWidthFor(static_cast<std::uint64_t>(num_nodes));
 }
 
-// Handles resolved once at construction so the per-round recording path
-// never does a string lookup.  Existence of this struct == sink attached.
-struct Engine::ObsHandles {
-  obs::MetricsSink* sink;
-  obs::TraceWriter* trace;  // may be null (metrics without spans)
-  obs::Counter* messages_sent;
-  obs::Counter* bits_sent;
-  obs::Counter* messages_dropped;
-  obs::Counter* messages_corrupted;
-  obs::Counter* crashes;
-  obs::Counter* restarts;
-  obs::Histogram* bits_per_send;
-  obs::Series* round_bits;
-  obs::Series* round_messages;
-
-  explicit ObsHandles(obs::MetricsSink* s) : sink(s), trace(s->trace) {
-    auto& reg = s->registry;
-    messages_sent = reg.counter("engine/messages_sent");
-    bits_sent = reg.counter("engine/bits_sent");
-    messages_dropped = reg.counter("faults/messages_dropped");
-    messages_corrupted = reg.counter("faults/messages_corrupted");
-    crashes = reg.counter("faults/crashes");
-    restarts = reg.counter("faults/restarts");
-    // Message payloads are budget-capped at O(log N) + constant bits;
-    // power-of-two edges up to 4096 cover every budget the repo uses.
-    bits_per_send = reg.histogram(
-        "engine/bits_per_send",
-        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096});
-    round_bits = reg.series("round/bits_sent");
-    round_messages = reg.series("round/messages_sent");
-  }
-};
-
 Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
                std::unique_ptr<Adversary> adversary, EngineConfig config,
-               std::uint64_t seed)
+               std::uint64_t seed, EngineWorkspace* workspace)
     : processes_(std::move(processes)),
       adversary_(std::move(adversary)),
       config_(config),
@@ -66,8 +33,16 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
       << "budget " << budget_bits_ << " exceeds message capacity";
   result_.done_round.assign(processes_.size(), -1);
   result_.bits_per_node.assign(processes_.size(), 0);
+  if (workspace != nullptr) {
+    ws_ = workspace;
+  } else {
+    owned_ws_ = std::make_unique<EngineWorkspace>();
+    ws_ = owned_ws_.get();
+  }
+  ws_->reset();
+  pipeline_ = makeDefaultPipeline();
   if (config_.metrics != nullptr) {
-    obs_ = std::make_unique<ObsHandles>(config_.metrics);
+    obs_ = std::make_unique<EngineObs>(config_.metrics);
     config_.metrics->registry.gauge("engine/num_nodes")
         ->set(static_cast<double>(processes_.size()));
     config_.metrics->registry.gauge("engine/budget_bits")
@@ -76,7 +51,6 @@ Engine::Engine(std::vector<std::unique_ptr<Process>> processes,
 }
 
 Engine::~Engine() = default;
-Engine::Engine(Engine&&) noexcept = default;
 
 void Engine::setFaultInjector(
     std::shared_ptr<const faults::FaultInjector> injector) {
@@ -89,35 +63,12 @@ void Engine::setFaultInjector(
   }
   injector_ = std::move(injector);
   if (injector_ != nullptr) {
-    crash_counted_.assign(processes_.size(), 0);
+    ws_->crash_counted.assign(processes_.size(), 0);
   }
 }
 
 bool Engine::allDone() const {
-  for (NodeId v = 0; v < static_cast<NodeId>(processes_.size()); ++v) {
-    if (injector_ != nullptr && injector_->isCrashed(v, round_)) {
-      continue;  // crashed nodes cannot hold the run open
-    }
-    if (!processes_[static_cast<std::size_t>(v)]->done()) {
-      return false;
-    }
-  }
-  return true;
-}
-
-void Engine::emitRoundObservations(std::uint64_t round_bits,
-                                   std::uint64_t round_messages) {
-  obs_->round_bits->append(static_cast<double>(round_bits));
-  obs_->round_messages->append(static_cast<double>(round_messages));
-  obs_->messages_sent->inc(round_messages);
-  obs_->bits_sent->inc(round_bits);
-  if (obs_->trace != nullptr) {
-    const double now = obs_->trace->nowUs();
-    obs_->trace->counter("bits_sent/round", now,
-                         static_cast<double>(round_bits));
-    obs_->trace->counter("messages_sent/round", now,
-                         static_cast<double>(round_messages));
-  }
+  return allLiveDone(processes_, injector_.get(), round_);
 }
 
 bool Engine::step() {
@@ -125,185 +76,30 @@ bool Engine::step() {
     return false;
   }
   ++round_;
-  const auto n = static_cast<NodeId>(processes_.size());
 
-  const bool faulty = injector_ != nullptr;
+  RoundContext ctx;
+  ctx.processes = &processes_;
+  ctx.adversary = adversary_.get();
+  ctx.config = &config_;
+  ctx.injector = injector_.get();
+  ctx.ws = ws_;
+  ctx.result = &result_;
+  ctx.topologies = &topologies_;
+  ctx.action_trace = &actions_;
+  ctx.obs = obs_.get();
+  ctx.seed = seed_;
+  ctx.budget_bits = budget_bits_;
+  ctx.n = static_cast<NodeId>(processes_.size());
+
+  ctx.round = round_;
+  ctx.faulty = injector_ != nullptr;
+  ctx.bits_before = result_.bits_sent;
+  ctx.messages_before = result_.messages_sent;
   obs::TraceWriter* tracer = obs_ != nullptr ? obs_->trace : nullptr;
-  double span_start = tracer != nullptr ? tracer->nowUs() : 0.0;
+  ctx.span_start = tracer != nullptr ? tracer->nowUs() : 0.0;
 
-  // 0. Fault hook: apply this round's scheduled restarts (state re-created,
-  // not resumed) and crash transitions before any node acts.
-  if (faulty) {
-    alive_.assign(processes_.size(), 1);
-    for (NodeId v = 0; v < n; ++v) {
-      const auto idx = static_cast<std::size_t>(v);
-      if (injector_->restartsAt(v, round_)) {
-        processes_[idx] = injector_->freshProcess(v, n);
-        crash_counted_[idx] = 0;
-        ++result_.restarts;
-        if (obs_ != nullptr) {
-          obs_->restarts->inc();
-        }
-      }
-      if (injector_->isCrashed(v, round_)) {
-        if (crash_counted_[idx] == 0) {
-          crash_counted_[idx] = 1;
-          ++result_.crashes;
-          if (obs_ != nullptr) {
-            obs_->crashes->inc();
-          }
-        }
-        alive_[idx] = 0;
-      }
-    }
-    if (tracer != nullptr) {
-      const double now = tracer->nowUs();
-      tracer->span("fault_hook", span_start, now,
-                   {{"round", static_cast<double>(round_)}});
-      span_start = now;
-    }
-  }
-
-  // 1-2. Coins flip, each live node decides its action; crashed nodes
-  // decide nothing and emit nothing.
-  const std::uint64_t bits_before = result_.bits_sent;
-  const std::uint64_t messages_before = result_.messages_sent;
-  current_actions_.resize(processes_.size());
-  for (NodeId v = 0; v < n; ++v) {
-    const auto idx = static_cast<std::size_t>(v);
-    if (faulty && alive_[idx] == 0) {
-      current_actions_[idx] = Action{};
-      continue;
-    }
-    util::CoinStream coins(seed_, static_cast<std::uint64_t>(v),
-                           static_cast<std::uint64_t>(round_));
-    current_actions_[idx] = processes_[idx]->onRound(round_, coins);
-    const Action& a = current_actions_[idx];
-    if (a.send) {
-      DYNET_CHECK(a.msg.bitSize() <= budget_bits_)
-          << "node " << v << " round " << round_ << " message of "
-          << a.msg.bitSize() << " bits exceeds budget " << budget_bits_;
-      ++result_.messages_sent;
-      result_.bits_sent += static_cast<std::uint64_t>(a.msg.bitSize());
-      result_.bits_per_node[idx] +=
-          static_cast<std::uint64_t>(a.msg.bitSize());
-      if (result_.bits_per_node[idx] > result_.max_bits_per_node) {
-        result_.max_bits_per_node = result_.bits_per_node[idx];
-      }
-      if (obs_ != nullptr) {
-        obs_->bits_per_send->observe(static_cast<double>(a.msg.bitSize()));
-      }
-    }
-  }
-  if (tracer != nullptr) {
-    const double now = tracer->nowUs();
-    tracer->span("process_step", span_start, now,
-                 {{"round", static_cast<double>(round_)}});
-    span_start = now;
-  }
-
-  // 3. Adversary fixes the topology after observing the actions.
-  RoundObservation obs{current_actions_};
-  net::GraphPtr g = adversary_->topology(round_, obs);
-  DYNET_CHECK(g != nullptr) << "adversary returned null topology";
-  DYNET_CHECK(g->numNodes() == n) << "topology node count mismatch";
-  if (config_.check_connectivity) {
-    if (faulty && config_.relax_connectivity_to_live &&
-        injector_->plan().hasCrashes()) {
-      DYNET_CHECK(net::connectedOn(*g, alive_))
-          << "round " << round_
-          << " live-node subgraph disconnected (crashed nodes excluded)";
-    } else {
-      DYNET_CHECK(g->connected())
-          << "round " << round_ << " topology disconnected ("
-          << g->componentCount() << " components)";
-    }
-  }
-  if (config_.record_topologies) {
-    topologies_.push_back(g);
-  }
-  if (config_.record_actions) {
-    actions_.push_back(current_actions_);
-  }
-  if (tracer != nullptr) {
-    const double now = tracer->nowUs();
-    tracer->span("adversary_pick", span_start, now,
-                 {{"round", static_cast<double>(round_)},
-                  {"edges", static_cast<double>(g->numEdges())}});
-    span_start = now;
-  }
-
-  // 4. Delivery: every receiving node gets the messages of its sending
-  // neighbors.  The fault injector sits between the send decision and
-  // onDeliver: each individual (sender, receiver) delivery may be dropped
-  // or corrupted; crashed receivers get nothing at all.
-  for (NodeId v = 0; v < n; ++v) {
-    if (faulty && alive_[static_cast<std::size_t>(v)] == 0) {
-      continue;  // crashed: no onDeliver
-    }
-    const Action& a = current_actions_[static_cast<std::size_t>(v)];
-    if (a.send) {
-      processes_[static_cast<std::size_t>(v)]->onDeliver(round_, true, {});
-      continue;
-    }
-    // Deliver in ascending sender-id order: the model gives messages no
-    // arrival order, so the engine defines a canonical one that any
-    // simulating party can reproduce.
-    inbox_senders_.clear();
-    for (NodeId u : g->neighbors(v)) {
-      if (current_actions_[static_cast<std::size_t>(u)].send) {
-        inbox_senders_.push_back(u);
-      }
-    }
-    std::sort(inbox_senders_.begin(), inbox_senders_.end());
-    inbox_.clear();
-    for (NodeId u : inbox_senders_) {
-      const Message& msg = current_actions_[static_cast<std::size_t>(u)].msg;
-      if (faulty) {
-        const auto fate = injector_->deliveryFate(u, v, round_);
-        if (fate == faults::FaultPlan::Fate::kDrop) {
-          ++result_.messages_dropped;
-          if (obs_ != nullptr) {
-            obs_->messages_dropped->inc();
-          }
-          continue;
-        }
-        if (fate == faults::FaultPlan::Fate::kCorrupt) {
-          ++result_.messages_corrupted;
-          if (obs_ != nullptr) {
-            obs_->messages_corrupted->inc();
-          }
-          if (!injector_->plan().config().deliver_corrupted) {
-            continue;  // link-layer CRC catches it
-          }
-          inbox_.push_back(injector_->corrupted(msg, u, v, round_));
-          continue;
-        }
-      }
-      inbox_.push_back(msg);
-    }
-    processes_[static_cast<std::size_t>(v)]->onDeliver(round_, false, inbox_);
-  }
-  if (tracer != nullptr) {
-    tracer->span("delivery", span_start, tracer->nowUs(),
-                 {{"round", static_cast<double>(round_)}});
-  }
-
-  for (NodeId v = 0; v < n; ++v) {
-    if (result_.done_round[static_cast<std::size_t>(v)] < 0 &&
-        processes_[static_cast<std::size_t>(v)]->done()) {
-      result_.done_round[static_cast<std::size_t>(v)] = round_;
-    }
-  }
-  result_.rounds_executed = round_;
-  result_.bits_per_round.push_back(result_.bits_sent - bits_before);
-  if (obs_ != nullptr) {
-    emitRoundObservations(result_.bits_sent - bits_before,
-                          result_.messages_sent - messages_before);
-  }
-  if (!result_.all_done && allDone()) {
-    result_.all_done = true;
-    result_.all_done_round = round_;
+  for (const auto& phase : pipeline_) {
+    phase->run(ctx);
   }
   return true;
 }

@@ -2,8 +2,16 @@
 //
 // Executes Processes against an Adversary under the CONGEST constraints:
 // send-xor-receive, per-message bit budget, connected per-round topology.
-// Optionally records full traces (topologies, actions, deliveries derived
-// on demand) for diameter computation and reduction cross-validation.
+// Each round runs through the phase pipeline of sim/phase.h (fault →
+// compute → adversary → delivery → observe); cross-cutting layers (fault
+// injection, observability, trace recording) live in their own phases
+// instead of inline special cases.  Optionally records full traces
+// (topologies, actions, deliveries derived on demand) for diameter
+// computation and reduction cross-validation.
+//
+// Per-run scratch lives in an EngineWorkspace (sim/workspace.h).  By
+// default the engine owns a private one; batch callers (sim::BatchRunner)
+// pass an external workspace so its capacity is reused across trials.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,10 @@ struct MetricsSink;
 }  // namespace dynet::obs
 
 namespace dynet::sim {
+
+struct EngineObs;       // pre-resolved registry handles (sim/phase.h)
+class PhaseUnit;        // one stage of the round pipeline (sim/phase.h)
+struct EngineWorkspace; // reusable per-run scratch (sim/workspace.h)
 
 /// Message budget used throughout: a fixed constant multiple of log N.
 int defaultBudgetBits(NodeId num_nodes);
@@ -86,13 +98,19 @@ struct RunResult {
 
 class Engine {
  public:
-  /// `seed` feeds the per-(node, round) coin streams.
+  /// `seed` feeds the per-(node, round) coin streams.  `workspace` may
+  /// point at an external EngineWorkspace to reuse its capacity across
+  /// runs (sim::BatchRunner does); the engine resets it on construction
+  /// and requires it to outlive the engine.  Null (the default) makes the
+  /// engine own a private workspace.
   Engine(std::vector<std::unique_ptr<Process>> processes,
          std::unique_ptr<Adversary> adversary, EngineConfig config,
-         std::uint64_t seed);
-  // Out-of-line: ObsHandles is incomplete here.
+         std::uint64_t seed, EngineWorkspace* workspace = nullptr);
+  // Out-of-line: EngineObs / EngineWorkspace are incomplete here.
   ~Engine();
-  Engine(Engine&&) noexcept;
+  // Not movable: every creation site either constructs in place or returns
+  // a prvalue (guaranteed elision), so no move is ever needed.
+  Engine(Engine&&) = delete;
   Engine& operator=(Engine&&) = delete;
 
   /// Attaches a fault-injection hook; must be called before the first
@@ -103,7 +121,8 @@ class Engine {
   /// Runs rounds until max_rounds or all done.
   RunResult run();
 
-  /// Executes exactly one round; returns false if max_rounds reached.
+  /// Executes exactly one round (the full phase pipeline); returns false
+  /// if max_rounds reached.
   bool step();
 
   Round currentRound() const { return round_; }
@@ -128,10 +147,6 @@ class Engine {
   void finalizeMetrics();
 
  private:
-  struct ObsHandles;  // pre-resolved registry handles (engine.cpp)
-
-  void emitRoundObservations(std::uint64_t round_bits,
-                             std::uint64_t round_messages);
   std::vector<std::unique_ptr<Process>> processes_;
   std::unique_ptr<Adversary> adversary_;
   EngineConfig config_;
@@ -139,18 +154,19 @@ class Engine {
   int budget_bits_;
   Round round_ = 0;
   std::shared_ptr<const faults::FaultInjector> injector_;
-  std::unique_ptr<ObsHandles> obs_;  // null unless config_.metrics is set
+  std::unique_ptr<EngineObs> obs_;  // null unless config_.metrics is set
+
+  // Per-run scratch: ws_ points at the external workspace when one was
+  // passed, else at owned_ws_.
+  EngineWorkspace* ws_;
+  std::unique_ptr<EngineWorkspace> owned_ws_;
+
+  // The round pipeline (sim/phase.h), built once at construction.
+  std::vector<std::unique_ptr<PhaseUnit>> pipeline_;
 
   net::TopologySeq topologies_;
   std::vector<std::vector<Action>> actions_;
   RunResult result_;
-
-  // Scratch reused across rounds.
-  std::vector<Action> current_actions_;
-  std::vector<Message> inbox_;
-  std::vector<NodeId> inbox_senders_;
-  std::vector<char> alive_;          // this round's live mask (faults only)
-  std::vector<char> crash_counted_;  // down transitions already accounted
 };
 
 }  // namespace dynet::sim

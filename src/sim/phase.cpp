@@ -1,0 +1,271 @@
+#include "sim/phase.h"
+
+#include <algorithm>
+
+#include "faults/fault_injector.h"
+#include "obs/sink.h"
+#include "util/check.h"
+
+namespace dynet::sim {
+
+EngineObs::EngineObs(obs::MetricsSink* s) : sink(s), trace(s->trace) {
+  auto& reg = s->registry;
+  messages_sent = reg.counter("engine/messages_sent");
+  bits_sent = reg.counter("engine/bits_sent");
+  messages_dropped = reg.counter("faults/messages_dropped");
+  messages_corrupted = reg.counter("faults/messages_corrupted");
+  crashes = reg.counter("faults/crashes");
+  restarts = reg.counter("faults/restarts");
+  // Message payloads are budget-capped at O(log N) + constant bits;
+  // power-of-two edges up to 4096 cover every budget the repo uses.
+  bits_per_send = reg.histogram(
+      "engine/bits_per_send",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096});
+  round_bits = reg.series("round/bits_sent");
+  round_messages = reg.series("round/messages_sent");
+}
+
+bool allLiveDone(const std::vector<std::unique_ptr<Process>>& processes,
+                 const faults::FaultInjector* injector, Round round) {
+  for (NodeId v = 0; v < static_cast<NodeId>(processes.size()); ++v) {
+    if (injector != nullptr && injector->isCrashed(v, round)) {
+      continue;  // crashed nodes cannot hold the run open
+    }
+    if (!processes[static_cast<std::size_t>(v)]->done()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+obs::TraceWriter* tracerOf(const RoundContext& ctx) {
+  return ctx.obs != nullptr ? ctx.obs->trace : nullptr;
+}
+
+void closeSpan(RoundContext& ctx, const char* span_name) {
+  obs::TraceWriter* tracer = tracerOf(ctx);
+  if (tracer == nullptr) {
+    return;
+  }
+  const double now = tracer->nowUs();
+  tracer->span(span_name, ctx.span_start, now,
+               {{"round", static_cast<double>(ctx.round)}});
+  ctx.span_start = now;
+}
+
+}  // namespace
+
+// Applies this round's scheduled restarts (state re-created, not resumed)
+// and crash transitions before any node acts.
+void FaultPhase::run(RoundContext& ctx) {
+  if (!ctx.faulty) {
+    return;
+  }
+  auto& processes = *ctx.processes;
+  EngineWorkspace& ws = *ctx.ws;
+  RunResult& result = *ctx.result;
+  ws.alive.assign(processes.size(), 1);
+  for (NodeId v = 0; v < ctx.n; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (ctx.injector->restartsAt(v, ctx.round)) {
+      processes[idx] = ctx.injector->freshProcess(v, ctx.n);
+      ws.crash_counted[idx] = 0;
+      ++result.restarts;
+      if (ctx.obs != nullptr) {
+        ctx.obs->restarts->inc();
+      }
+    }
+    if (ctx.injector->isCrashed(v, ctx.round)) {
+      if (ws.crash_counted[idx] == 0) {
+        ws.crash_counted[idx] = 1;
+        ++result.crashes;
+        if (ctx.obs != nullptr) {
+          ctx.obs->crashes->inc();
+        }
+      }
+      ws.alive[idx] = 0;
+    }
+  }
+  closeSpan(ctx, "fault_hook");
+}
+
+// Coins flip, each live node decides its action; crashed nodes decide
+// nothing and emit nothing.
+void ComputePhase::run(RoundContext& ctx) {
+  auto& processes = *ctx.processes;
+  EngineWorkspace& ws = *ctx.ws;
+  RunResult& result = *ctx.result;
+  ws.actions.resize(processes.size());
+  for (NodeId v = 0; v < ctx.n; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (ctx.faulty && ws.alive[idx] == 0) {
+      ws.actions[idx] = Action{};
+      continue;
+    }
+    util::CoinStream coins(ctx.seed, static_cast<std::uint64_t>(v),
+                           static_cast<std::uint64_t>(ctx.round));
+    ws.actions[idx] = processes[idx]->onRound(ctx.round, coins);
+    const Action& a = ws.actions[idx];
+    if (a.send) {
+      DYNET_CHECK(a.msg.bitSize() <= ctx.budget_bits)
+          << "node " << v << " round " << ctx.round << " message of "
+          << a.msg.bitSize() << " bits exceeds budget " << ctx.budget_bits;
+      ++result.messages_sent;
+      result.bits_sent += static_cast<std::uint64_t>(a.msg.bitSize());
+      result.bits_per_node[idx] += static_cast<std::uint64_t>(a.msg.bitSize());
+      if (result.bits_per_node[idx] > result.max_bits_per_node) {
+        result.max_bits_per_node = result.bits_per_node[idx];
+      }
+      if (ctx.obs != nullptr) {
+        ctx.obs->bits_per_send->observe(static_cast<double>(a.msg.bitSize()));
+      }
+    }
+  }
+  closeSpan(ctx, "process_step");
+}
+
+// The adversary fixes the topology after observing the actions; the engine
+// checks the model's connectivity invariant and warms the graph's lazy
+// caches so the GraphPtr is safe to share across threads afterwards.
+void AdversaryPhase::run(RoundContext& ctx) {
+  RoundObservation obs{ctx.ws->actions};
+  net::GraphPtr g = ctx.adversary->topology(ctx.round, obs);
+  DYNET_CHECK(g != nullptr) << "adversary returned null topology";
+  DYNET_CHECK(g->numNodes() == ctx.n) << "topology node count mismatch";
+  g->warm();
+  if (ctx.config->check_connectivity) {
+    if (ctx.faulty && ctx.config->relax_connectivity_to_live &&
+        ctx.injector->plan().hasCrashes()) {
+      DYNET_CHECK(net::connectedOn(*g, ctx.ws->alive))
+          << "round " << ctx.round
+          << " live-node subgraph disconnected (crashed nodes excluded)";
+    } else {
+      DYNET_CHECK(g->connected())
+          << "round " << ctx.round << " topology disconnected ("
+          << g->componentCount() << " components)";
+    }
+  }
+  if (ctx.config->record_topologies) {
+    ctx.topologies->push_back(g);
+  }
+  if (ctx.config->record_actions) {
+    ctx.action_trace->push_back(ctx.ws->actions);
+  }
+  if (obs::TraceWriter* tracer = tracerOf(ctx); tracer != nullptr) {
+    const double now = tracer->nowUs();
+    tracer->span("adversary_pick", ctx.span_start, now,
+                 {{"round", static_cast<double>(ctx.round)},
+                  {"edges", static_cast<double>(g->numEdges())}});
+    ctx.span_start = now;
+  }
+  ctx.topology = std::move(g);
+}
+
+// Every receiving node gets the messages of its sending neighbors.  The
+// fault injector sits between the send decision and onDeliver: each
+// individual (sender, receiver) delivery may be dropped or corrupted;
+// crashed receivers get nothing at all.
+void DeliveryPhase::run(RoundContext& ctx) {
+  auto& processes = *ctx.processes;
+  EngineWorkspace& ws = *ctx.ws;
+  RunResult& result = *ctx.result;
+  const net::Graph& g = *ctx.topology;
+  for (NodeId v = 0; v < ctx.n; ++v) {
+    if (ctx.faulty && ws.alive[static_cast<std::size_t>(v)] == 0) {
+      continue;  // crashed: no onDeliver
+    }
+    const Action& a = ws.actions[static_cast<std::size_t>(v)];
+    if (a.send) {
+      processes[static_cast<std::size_t>(v)]->onDeliver(ctx.round, true, {});
+      continue;
+    }
+    // Deliver in ascending sender-id order: the model gives messages no
+    // arrival order, so the engine defines a canonical one that any
+    // simulating party can reproduce.
+    ws.inbox_senders.clear();
+    for (NodeId u : g.neighbors(v)) {
+      if (ws.actions[static_cast<std::size_t>(u)].send) {
+        ws.inbox_senders.push_back(u);
+      }
+    }
+    std::sort(ws.inbox_senders.begin(), ws.inbox_senders.end());
+    ws.inbox.clear();
+    for (NodeId u : ws.inbox_senders) {
+      const Message& msg = ws.actions[static_cast<std::size_t>(u)].msg;
+      if (ctx.faulty) {
+        const auto fate = ctx.injector->deliveryFate(u, v, ctx.round);
+        if (fate == faults::FaultPlan::Fate::kDrop) {
+          ++result.messages_dropped;
+          if (ctx.obs != nullptr) {
+            ctx.obs->messages_dropped->inc();
+          }
+          continue;
+        }
+        if (fate == faults::FaultPlan::Fate::kCorrupt) {
+          ++result.messages_corrupted;
+          if (ctx.obs != nullptr) {
+            ctx.obs->messages_corrupted->inc();
+          }
+          if (!ctx.injector->plan().config().deliver_corrupted) {
+            continue;  // link-layer CRC catches it
+          }
+          ws.inbox.push_back(ctx.injector->corrupted(msg, u, v, ctx.round));
+          continue;
+        }
+      }
+      ws.inbox.push_back(msg);
+    }
+    processes[static_cast<std::size_t>(v)]->onDeliver(ctx.round, false,
+                                                      ws.inbox);
+  }
+  closeSpan(ctx, "delivery");
+}
+
+// End-of-round accounting: per-node done rounds, the per-round bit series,
+// the metrics sink's round observations, and the all-done check.
+void ObservePhase::run(RoundContext& ctx) {
+  auto& processes = *ctx.processes;
+  RunResult& result = *ctx.result;
+  for (NodeId v = 0; v < ctx.n; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (result.done_round[idx] < 0 && processes[idx]->done()) {
+      result.done_round[idx] = ctx.round;
+    }
+  }
+  result.rounds_executed = ctx.round;
+  const std::uint64_t round_bits = result.bits_sent - ctx.bits_before;
+  const std::uint64_t round_messages =
+      result.messages_sent - ctx.messages_before;
+  result.bits_per_round.push_back(round_bits);
+  if (ctx.obs != nullptr) {
+    ctx.obs->round_bits->append(static_cast<double>(round_bits));
+    ctx.obs->round_messages->append(static_cast<double>(round_messages));
+    ctx.obs->messages_sent->inc(round_messages);
+    ctx.obs->bits_sent->inc(round_bits);
+    if (ctx.obs->trace != nullptr) {
+      const double now = ctx.obs->trace->nowUs();
+      ctx.obs->trace->counter("bits_sent/round", now,
+                              static_cast<double>(round_bits));
+      ctx.obs->trace->counter("messages_sent/round", now,
+                              static_cast<double>(round_messages));
+    }
+  }
+  if (!result.all_done && allLiveDone(processes, ctx.injector, ctx.round)) {
+    result.all_done = true;
+    result.all_done_round = ctx.round;
+  }
+}
+
+std::vector<std::unique_ptr<PhaseUnit>> makeDefaultPipeline() {
+  std::vector<std::unique_ptr<PhaseUnit>> pipeline;
+  pipeline.push_back(std::make_unique<FaultPhase>());
+  pipeline.push_back(std::make_unique<ComputePhase>());
+  pipeline.push_back(std::make_unique<AdversaryPhase>());
+  pipeline.push_back(std::make_unique<DeliveryPhase>());
+  pipeline.push_back(std::make_unique<ObservePhase>());
+  return pipeline;
+}
+
+}  // namespace dynet::sim

@@ -1,28 +1,22 @@
 #include "sim/runner.h"
 
-#include <mutex>
-
+#include "sim/batch.h"
 #include "util/check.h"
-#include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace dynet::sim {
 
 TrialSummary runTrials(int trials, std::uint64_t base_seed, const TrialFn& body) {
-  DYNET_CHECK(trials >= 1) << "trials=" << trials;
-  std::vector<std::map<std::string, double>> results(
-      static_cast<std::size_t>(trials));
-  util::ThreadPool::shared().parallelFor(
-      static_cast<std::size_t>(trials), [&](std::size_t i) {
-        results[i] = body(util::hashCombine(base_seed, i));
-      });
-  TrialSummary summary;
-  for (const auto& metrics : results) {
-    for (const auto& [name, value] : metrics) {
-      summary.metrics[name].add(value);
-    }
-  }
-  return summary;
+  // Thin adapter over BatchRunner: same seeds (hashCombine(base_seed, i)),
+  // same trial-order merge, so summaries are identical to the historical
+  // per-trial map loop — the map is simply drained into a TrialRecorder.
+  BatchRunner runner;
+  return runner.run(trials, base_seed,
+                    [&body](std::uint64_t seed, EngineWorkspace& /*ws*/,
+                            TrialRecorder& rec) {
+                      for (const auto& [name, value] : body(seed)) {
+                        rec.set(name, value);
+                      }
+                    });
 }
 
 }  // namespace dynet::sim

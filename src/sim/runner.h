@@ -1,9 +1,15 @@
-// Parallel Monte Carlo trial runner.
+// Parallel Monte Carlo trial runner (legacy map-based API).
 //
 // Runs `trials` independent executions (distinct seeds) of a user-supplied
 // experiment and aggregates per-trial scalar metrics.  Used by benches to
 // average over coin flips, matching the paper's average-coin-flip
 // complexity definition.
+//
+// runTrials is now a thin adapter over sim::BatchRunner (sim/batch.h),
+// which is the preferred API for hot loops: it replaces the per-trial
+// std::map with dense TrialRecorder metric ids and hands each trial a
+// reusable EngineWorkspace.  Summaries from both paths are identical for
+// the same base_seed (pinned by tests/batch_runner_test.cpp).
 #pragma once
 
 #include <cstdint>

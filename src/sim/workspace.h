@@ -1,0 +1,51 @@
+// Reusable per-run scratch storage for the round engine.
+//
+// Every Engine needs a handful of O(N)-sized scratch vectors (the action
+// vector being built this round, delivery inboxes, fault liveness masks).
+// Allocating them per Engine means every Monte Carlo trial pays a fresh set
+// of heap allocations; an EngineWorkspace lets a caller that runs many
+// engines back to back (sim::BatchRunner, bench loops) allocate once and
+// reuse the capacity across trials.
+//
+// Ownership and thread-affinity rules (docs/ARCHITECTURE.md):
+//   * A workspace is bound to at most ONE live Engine at a time, and all
+//     accesses happen on the thread driving that engine.  Nothing in the
+//     workspace is synchronized.
+//   * The engine resets all per-run state on construction; a workspace
+//     carries capacity, never data, from one trial into the next.
+//   * An Engine constructed without an external workspace owns a private
+//     one — single-run callers see no API or behaviour change.
+#pragma once
+
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/process.h"
+
+namespace dynet::sim {
+
+struct EngineWorkspace {
+  /// This round's decided actions, [node].  Rebuilt every round.
+  std::vector<Action> actions;
+  /// Delivery scratch: the messages handed to the current receiver.
+  std::vector<Message> inbox;
+  /// Delivery scratch: sending neighbors of the current receiver, sorted.
+  std::vector<NodeId> inbox_senders;
+  /// Fault scratch: this round's live mask (empty in clean runs).
+  std::vector<char> alive;
+  /// Fault scratch: down transitions already counted (empty in clean runs).
+  std::vector<char> crash_counted;
+
+  /// Drops all per-run state but keeps every vector's capacity.  The engine
+  /// calls this on construction, so a reused workspace can never leak one
+  /// trial's data into the next.
+  void reset() {
+    actions.clear();
+    inbox.clear();
+    inbox_senders.clear();
+    alive.clear();
+    crash_counted.clear();
+  }
+};
+
+}  // namespace dynet::sim

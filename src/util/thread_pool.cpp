@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace dynet::util {
 
@@ -92,8 +93,20 @@ void ThreadPool::parallelFor(std::size_t n,
   }
 }
 
+unsigned parseThreadCount(const char* value) {
+  if (value == nullptr || *value == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || parsed == 0 || parsed > 4096) {
+    return 0;  // malformed or out of range: fall back to the default
+  }
+  return static_cast<unsigned>(parsed);
+}
+
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  static ThreadPool pool(parseThreadCount(std::getenv("DYNET_THREADS")));
   return pool;
 }
 

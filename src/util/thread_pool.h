@@ -35,7 +35,10 @@ class ThreadPool {
   /// Rethrows the first captured exception.
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
 
-  /// Process-wide default pool.
+  /// Process-wide default pool.  Sized from the DYNET_THREADS environment
+  /// variable when it holds a positive integer (deterministic CI, sanitizer
+  /// jobs, container cgroup limits), else hardware_concurrency.  The
+  /// variable is read once, when the pool is first used.
   static ThreadPool& shared();
 
  private:
@@ -58,5 +61,12 @@ class ThreadPool {
   std::deque<std::shared_ptr<Batch>> queue_;
   bool stop_ = false;
 };
+
+/// Parses a DYNET_THREADS-style override: returns the value for a positive
+/// decimal integer up to 4096, or 0 — "use the default" — for null, empty,
+/// non-numeric, zero, or out-of-range input.  Pure; exposed
+/// separately from ThreadPool::shared() so tests can cover the parsing
+/// without mutating the process environment.
+unsigned parseThreadCount(const char* value);
 
 }  // namespace dynet::util
