@@ -2,14 +2,25 @@
 // node-rounds/sec across adversaries, dynamic-diameter solves, and the
 // Γ/Λ adversary edge generation that dominates reduction runs.
 //
-// A second, non-google-benchmark mode compares the Monte Carlo trial
-// runners (invoked as `bench_sim_perf [--quick] batch-vs-sequential`):
-// trials/sec of the historical sequential per-trial-Engine loop (fresh
-// Engine + std::map<std::string,double> per seed, one thread) against
-// sim::BatchRunner (pooled workspaces, dense TrialRecorder metrics,
-// thread-pool fan-out).  It verifies the two paths agree metric for metric
-// before reporting, and emits machine-readable results to
-// BENCH_sim_perf.json (override with --json-out=PATH).
+// A second, non-google-benchmark family of modes compares engine
+// configurations pairwise (invoked as `bench_sim_perf [--quick] MODE...`,
+// any subset of the three; results for all requested modes land in one
+// BENCH_sim_perf.json, override with --json-out=PATH):
+//
+//   batch-vs-sequential  trials/sec of the historical sequential loop
+//                        (fresh Engine per seed, legacy heap delivery,
+//                        per-round topology rebuild, map-merged metrics,
+//                        one thread) against sim::BatchRunner on the
+//                        current defaults (arena delivery + topology
+//                        deltas, pooled workspaces, dense TrialRecorder).
+//   arena-vs-heap        BatchRunner vs BatchRunner, only
+//                        EngineConfig::arena_delivery differs.
+//   delta-vs-rebuild     EdgeChurn workload, only
+//                        EngineConfig::topology_deltas differs.
+//
+// Every mode verifies the two legs agree metric for metric (exact summary
+// equality) before reporting — a mismatch means the new hot path changed
+// behaviour, and the bench exits 1.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -21,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "adversary/churn_adversaries.h"
 #include "bench_common.h"
 #include "cc/disjointness_cp.h"
 #include "lowerbound/composition.h"
@@ -114,15 +126,20 @@ double nowSeconds() {
 /// The workload both runners execute: MaxFlood on a rotating star (the
 /// Θ(N)-causal-diameter adversary, so runs go the full horizon).  The
 /// caller supplies the adversary so the two runners can differ in *how*
-/// the topologies are produced while the topology values stay identical.
+/// the topologies are produced while the topology values stay identical,
+/// and the engine toggles so the legs can differ in *how* rounds execute
+/// while the results stay identical.
 sim::RunResult runWorkloadTrial(sim::NodeId n, sim::Round rounds,
                                 std::uint64_t seed,
                                 std::unique_ptr<sim::Adversary> adversary,
-                                sim::EngineWorkspace* ws = nullptr) {
+                                sim::EngineWorkspace* ws = nullptr,
+                                bool arena_delivery = true,
+                                bool topology_deltas = true) {
   std::vector<std::uint64_t> values(static_cast<std::size_t>(n), 1);
   proto::MaxFloodFactory factory(values, 8, 1 << 20);
   auto engine = bench::makeEngine(factory, std::move(adversary), rounds, seed,
-                                  /*record=*/false, ws);
+                                  /*record=*/false, ws, arena_delivery,
+                                  topology_deltas);
   return engine.run();
 }
 
@@ -145,78 +162,209 @@ struct CompareResult {
   sim::NodeId n = 0;
   int trials = 0;
   sim::Round rounds = 0;
-  double sequential_trials_per_sec = 0;
-  double batch_trials_per_sec = 0;
+  double baseline_trials_per_sec = 0;
+  double new_trials_per_sec = 0;
   double speedup = 0;
 };
 
-CompareResult compareRunners(sim::NodeId n, int trials, sim::Round rounds,
-                             std::uint64_t base_seed) {
-  // Baseline: the pre-BatchRunner shape — one thread, a fresh Engine (own
-  // workspace), per-round topology construction, and a fresh metric map
-  // per trial, merged map-by-map.
-  const double seq_start = nowSeconds();
-  std::map<std::string, util::Summary> sequential;
-  for (int i = 0; i < trials; ++i) {
-    const sim::RunResult r = runWorkloadTrial(
-        n, rounds, util::hashCombine(base_seed, static_cast<std::size_t>(i)),
-        bench::makeAdversary("rotating_star", n, 42));
-    const std::map<std::string, double> metrics = {
-        {"rounds", static_cast<double>(r.rounds_executed)},
-        {"bits", static_cast<double>(r.bits_sent)},
-        {"messages", static_cast<double>(r.messages_sent)},
-        {"max_node_bits", static_cast<double>(r.max_bits_per_node)},
-    };
-    for (const auto& [name, value] : metrics) {
-      sequential[name].add(value);
-    }
-  }
-  const double seq_secs = nowSeconds() - seq_start;
+struct ModeReport {
+  std::string mode;
+  std::string workload;
+  std::string baseline_label;  // JSON key for the baseline leg's rate
+  std::string new_label;       // JSON key for the new leg's rate
+  std::vector<CompareResult> results;
+};
 
-  sim::BatchRunner runner;
-  const sim::MetricId m_rounds = runner.metricId("rounds");
-  const sim::MetricId m_bits = runner.metricId("bits");
-  const sim::MetricId m_messages = runner.metricId("messages");
-  const sim::MetricId m_max_node_bits = runner.metricId("max_node_bits");
-  const double batch_start = nowSeconds();
-  const std::vector<net::GraphPtr> stars = rotatingStarCycle(n);
-  const sim::TrialSummary batch = runner.run(
-      trials, base_seed,
-      [&](std::uint64_t seed, sim::EngineWorkspace& ws,
-          sim::TrialRecorder& rec) {
-        const sim::RunResult r = runWorkloadTrial(
-            n, rounds, seed, std::make_unique<adv::PeriodicAdversary>(stars),
-            &ws);
-        rec.set(m_rounds, static_cast<double>(r.rounds_executed));
-        rec.set(m_bits, static_cast<double>(r.bits_sent));
-        rec.set(m_messages, static_cast<double>(r.messages_sent));
-        rec.set(m_max_node_bits, static_cast<double>(r.max_bits_per_node));
-      });
-  const double batch_secs = nowSeconds() - batch_start;
+/// RunResult → the four metrics every comparison aggregates.
+std::map<std::string, double> trialMetrics(const sim::RunResult& r) {
+  return {
+      {"rounds", static_cast<double>(r.rounds_executed)},
+      {"bits", static_cast<double>(r.bits_sent)},
+      {"messages", static_cast<double>(r.messages_sent)},
+      {"max_node_bits", static_cast<double>(r.max_bits_per_node)},
+  };
+}
 
-  // The two paths must agree exactly — same seeds, same engine, same
-  // trial-order merge.  A mismatch means the batch path changed behaviour.
-  for (const auto& [name, summary] : sequential) {
-    const util::Summary& b = batch.metrics.at(name);
-    if (b.count() != summary.count() || b.mean() != summary.mean() ||
-        b.min() != summary.min() || b.max() != summary.max()) {
-      std::cerr << "FATAL: batch/sequential mismatch on metric " << name
-                << " (mean " << b.mean() << " vs " << summary.mean() << ")\n";
+/// Exact summary equality between the two legs — same seeds, same engine
+/// semantics, same trial-order merge.  A mismatch means the configuration
+/// under test changed behaviour, which the whole PR forbids.
+void requireEqualSummaries(const std::map<std::string, util::Summary>& a,
+                           const std::map<std::string, util::Summary>& b,
+                           const std::string& mode) {
+  for (const auto& [name, summary] : a) {
+    const util::Summary& other = b.at(name);
+    if (other.count() != summary.count() || other.mean() != summary.mean() ||
+        other.min() != summary.min() || other.max() != summary.max()) {
+      std::cerr << "FATAL: " << mode << " leg mismatch on metric " << name
+                << " (mean " << other.mean() << " vs " << summary.mean()
+                << ")\n";
       std::exit(1);
     }
   }
+}
+
+/// Repetitions per leg; each comparison reports the fastest rep so a
+/// background-noise spike on one leg does not masquerade as a speedup
+/// (or slowdown) of the other.  Legs are interleaved per rep to
+/// decorrelate slow machine-wide drift.
+constexpr int kReps = 3;
+
+CompareResult compareBatchVsSequential(sim::NodeId n, int trials,
+                                       sim::Round rounds,
+                                       std::uint64_t base_seed) {
+  double seq_secs = 0;
+  double batch_secs = 0;
+  std::map<std::string, util::Summary> sequential;
+  std::map<std::string, util::Summary> batch_metrics;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Baseline: the pre-BatchRunner, pre-arena shape — one thread, a
+    // fresh Engine (own workspace) per trial, heap inbox delivery,
+    // per-round topology construction, and a fresh metric map per trial,
+    // merged map-by-map.
+    const double seq_start = nowSeconds();
+    std::map<std::string, util::Summary> seq;
+    for (int i = 0; i < trials; ++i) {
+      const sim::RunResult r = runWorkloadTrial(
+          n, rounds, util::hashCombine(base_seed, static_cast<std::size_t>(i)),
+          bench::makeAdversary("rotating_star", n, 42), /*ws=*/nullptr,
+          /*arena_delivery=*/false, /*topology_deltas=*/false);
+      for (const auto& [name, value] : trialMetrics(r)) {
+        seq[name].add(value);
+      }
+    }
+    const double seq_rep = nowSeconds() - seq_start;
+
+    sim::BatchRunner runner;
+    const sim::MetricId m_rounds = runner.metricId("rounds");
+    const sim::MetricId m_bits = runner.metricId("bits");
+    const sim::MetricId m_messages = runner.metricId("messages");
+    const sim::MetricId m_max_node_bits = runner.metricId("max_node_bits");
+    // Topology construction and cache warm-up are part of what the batch
+    // path amortizes away, but they should not be *timed into* a
+    // trials/sec figure that claims to measure the round engine: hoist
+    // them.
+    const std::vector<net::GraphPtr> stars = rotatingStarCycle(n);
+    const double batch_start = nowSeconds();
+    const sim::TrialSummary batch = runner.run(
+        trials, base_seed,
+        [&](std::uint64_t seed, sim::EngineWorkspace& ws,
+            sim::TrialRecorder& rec) {
+          const sim::RunResult r = runWorkloadTrial(
+              n, rounds, seed, std::make_unique<adv::PeriodicAdversary>(stars),
+              &ws);
+          rec.set(m_rounds, static_cast<double>(r.rounds_executed));
+          rec.set(m_bits, static_cast<double>(r.bits_sent));
+          rec.set(m_messages, static_cast<double>(r.messages_sent));
+          rec.set(m_max_node_bits, static_cast<double>(r.max_bits_per_node));
+        });
+    const double batch_rep = nowSeconds() - batch_start;
+
+    if (rep == 0 || seq_rep < seq_secs) {
+      seq_secs = seq_rep;
+    }
+    if (rep == 0 || batch_rep < batch_secs) {
+      batch_secs = batch_rep;
+    }
+    sequential = std::move(seq);
+    batch_metrics = batch.metrics;
+  }
+
+  requireEqualSummaries(sequential, batch_metrics, "batch-vs-sequential");
 
   CompareResult out;
   out.n = n;
   out.trials = trials;
   out.rounds = rounds;
-  out.sequential_trials_per_sec = trials / seq_secs;
-  out.batch_trials_per_sec = trials / batch_secs;
+  out.baseline_trials_per_sec = trials / seq_secs;
+  out.new_trials_per_sec = trials / batch_secs;
   out.speedup = seq_secs / batch_secs;
   return out;
 }
 
-int runBatchVsSequential(bool quick, const std::string& json_path) {
+/// Shared shape for the two single-toggle comparisons: run `trials` via
+/// BatchRunner twice with `body`, once per configuration, and require
+/// exact agreement.  `body(seed, ws, leg)` runs one trial for leg 0
+/// (baseline) or 1 (new path).
+template <typename Body>
+CompareResult compareToggle(sim::NodeId n, int trials, sim::Round rounds,
+                            std::uint64_t base_seed, const std::string& mode,
+                            Body body) {
+  std::map<std::string, util::Summary> legs[2];
+  double secs[2] = {0, 0};
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int leg = 0; leg < 2; ++leg) {
+      sim::BatchRunner runner;
+      const sim::MetricId m_rounds = runner.metricId("rounds");
+      const sim::MetricId m_bits = runner.metricId("bits");
+      const sim::MetricId m_messages = runner.metricId("messages");
+      const sim::MetricId m_max_node_bits = runner.metricId("max_node_bits");
+      const double start = nowSeconds();
+      const sim::TrialSummary summary = runner.run(
+          trials, base_seed,
+          [&](std::uint64_t seed, sim::EngineWorkspace& ws,
+              sim::TrialRecorder& rec) {
+            const sim::RunResult r = body(seed, ws, leg);
+            rec.set(m_rounds, static_cast<double>(r.rounds_executed));
+            rec.set(m_bits, static_cast<double>(r.bits_sent));
+            rec.set(m_messages, static_cast<double>(r.messages_sent));
+            rec.set(m_max_node_bits, static_cast<double>(r.max_bits_per_node));
+          });
+      const double rep_secs = nowSeconds() - start;
+      if (rep == 0 || rep_secs < secs[leg]) {
+        secs[leg] = rep_secs;
+      }
+      legs[leg] = summary.metrics;
+    }
+  }
+
+  requireEqualSummaries(legs[0], legs[1], mode);
+
+  CompareResult out;
+  out.n = n;
+  out.trials = trials;
+  out.rounds = rounds;
+  out.baseline_trials_per_sec = trials / secs[0];
+  out.new_trials_per_sec = trials / secs[1];
+  out.speedup = secs[0] / secs[1];
+  return out;
+}
+
+/// arena-vs-heap: identical adversary handling on both legs (periodic
+/// pre-warmed stars + deltas), only DeliveryPhase's storage differs —
+/// heap per-node inbox vectors vs. the workspace bump arena.
+CompareResult compareArenaVsHeap(sim::NodeId n, int trials, sim::Round rounds,
+                                 std::uint64_t base_seed,
+                                 const std::vector<net::GraphPtr>& stars) {
+  return compareToggle(
+      n, trials, rounds, base_seed, "arena-vs-heap",
+      [&](std::uint64_t seed, sim::EngineWorkspace& ws, int leg) {
+        return runWorkloadTrial(n, rounds, seed,
+                                std::make_unique<adv::PeriodicAdversary>(stars),
+                                &ws, /*arena_delivery=*/leg == 1,
+                                /*topology_deltas=*/true);
+      });
+}
+
+/// delta-vs-rebuild: identical delivery on both legs (arena), only the
+/// topology pipeline differs — EdgeChurn rebuilding its spanning tree
+/// from scratch every round vs. patching the previous Graph with
+/// applyDelta.  Churn 4 edges/round so the delta is genuinely sparse.
+CompareResult compareDeltaVsRebuild(sim::NodeId n, int trials,
+                                    sim::Round rounds,
+                                    std::uint64_t base_seed) {
+  return compareToggle(
+      n, trials, rounds, base_seed, "delta-vs-rebuild",
+      [&](std::uint64_t seed, sim::EngineWorkspace& ws, int leg) {
+        return runWorkloadTrial(
+            n, rounds, seed,
+            std::make_unique<adv::EdgeChurnAdversary>(n, /*churn_edges=*/4,
+                                                      /*seed=*/42),
+            &ws, /*arena_delivery=*/true, /*topology_deltas=*/leg == 1);
+      });
+}
+
+int runCompareModes(const std::vector<std::string>& modes, bool quick,
+                    const std::string& json_path) {
   struct Config {
     sim::NodeId n;
     int trials;
@@ -225,41 +373,74 @@ int runBatchVsSequential(bool quick, const std::string& json_path) {
   const std::vector<Config> configs =
       quick ? std::vector<Config>{{256, 64, 96}}
             : std::vector<Config>{{256, 256, 128}, {1024, 96, 128}};
-  std::vector<CompareResult> results;
-  for (const Config& c : configs) {
-    // Warm-up trial outside the timed regions (first allocations, code
-    // paging) so both paths are measured steady-state.
-    runWorkloadTrial(c.n, c.rounds, 0xBEEF,
-                     bench::makeAdversary("rotating_star", c.n, 42));
-    results.push_back(compareRunners(c.n, c.trials, c.rounds, 0x51A7));
+
+  std::vector<ModeReport> reports;
+  for (const std::string& mode : modes) {
+    ModeReport report;
+    report.mode = mode;
+    for (const Config& c : configs) {
+      // Warm-up trial outside the timed regions (first allocations, code
+      // paging) so both paths are measured steady-state.
+      runWorkloadTrial(c.n, c.rounds, 0xBEEF,
+                       bench::makeAdversary("rotating_star", c.n, 42));
+      if (mode == "batch-vs-sequential") {
+        report.workload = "max_flood/rotating_star";
+        report.baseline_label = "sequential_trials_per_sec";
+        report.new_label = "batch_trials_per_sec";
+        report.results.push_back(
+            compareBatchVsSequential(c.n, c.trials, c.rounds, 0x51A7));
+      } else if (mode == "arena-vs-heap") {
+        report.workload = "max_flood/rotating_star";
+        report.baseline_label = "heap_trials_per_sec";
+        report.new_label = "arena_trials_per_sec";
+        const std::vector<net::GraphPtr> stars = rotatingStarCycle(c.n);
+        report.results.push_back(
+            compareArenaVsHeap(c.n, c.trials, c.rounds, 0x51A7, stars));
+      } else if (mode == "delta-vs-rebuild") {
+        report.workload = "max_flood/edge_churn4";
+        report.baseline_label = "rebuild_trials_per_sec";
+        report.new_label = "delta_trials_per_sec";
+        report.results.push_back(
+            compareDeltaVsRebuild(c.n, c.trials, c.rounds, 0x51A7));
+      } else {
+        std::cerr << "unknown mode " << mode << "\n";
+        return 2;
+      }
+    }
+    reports.push_back(std::move(report));
   }
 
   std::ofstream json(json_path);
   DYNET_CHECK(json.good()) << "cannot open " << json_path;
   json << "{\n  \"bench\": \"sim_perf\",\n"
-       << "  \"mode\": \"batch-vs-sequential\",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
        << "  \"threads\": " << util::ThreadPool::shared().threadCount()
-       << ",\n  \"workload\": \"max_flood/rotating_star\",\n"
-       << "  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const CompareResult& r = results[i];
-    json << "    {\"n\": " << r.n << ", \"trials\": " << r.trials
-         << ", \"rounds\": " << r.rounds
-         << ", \"sequential_trials_per_sec\": " << r.sequential_trials_per_sec
-         << ", \"batch_trials_per_sec\": " << r.batch_trials_per_sec
-         << ", \"speedup\": " << r.speedup << "}"
-         << (i + 1 < results.size() ? "," : "") << "\n";
+       << ",\n  \"modes\": [\n";
+  for (std::size_t m = 0; m < reports.size(); ++m) {
+    const ModeReport& report = reports[m];
+    json << "    {\"mode\": \"" << report.mode << "\", \"workload\": \""
+         << report.workload << "\", \"results\": [\n";
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      const CompareResult& r = report.results[i];
+      json << "      {\"n\": " << r.n << ", \"trials\": " << r.trials
+           << ", \"rounds\": " << r.rounds << ", \"" << report.baseline_label
+           << "\": " << r.baseline_trials_per_sec << ", \"" << report.new_label
+           << "\": " << r.new_trials_per_sec << ", \"speedup\": " << r.speedup
+           << "}" << (i + 1 < report.results.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (m + 1 < reports.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   json.close();
 
-  for (const CompareResult& r : results) {
-    std::cout << "batch-vs-sequential n=" << r.n << " trials=" << r.trials
-              << " rounds=" << r.rounds << ": sequential "
-              << r.sequential_trials_per_sec << " trials/s, batch "
-              << r.batch_trials_per_sec << " trials/s, speedup " << r.speedup
-              << "x\n";
+  for (const ModeReport& report : reports) {
+    for (const CompareResult& r : report.results) {
+      std::cout << report.mode << " n=" << r.n << " trials=" << r.trials
+                << " rounds=" << r.rounds << ": baseline "
+                << r.baseline_trials_per_sec << " trials/s, new "
+                << r.new_trials_per_sec << " trials/s, speedup " << r.speedup
+                << "x\n";
+    }
   }
   std::cout << "results written to " << json_path << "\n";
   return 0;
@@ -271,27 +452,29 @@ int runBatchVsSequential(bool quick, const std::string& json_path) {
 // Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags
 // it does not know, but scripts/check.sh runs every bench with --quick.
 // Translate --quick into a short --benchmark_min_time before Initialize.
-// The positional `batch-vs-sequential` argument selects the trial-runner
-// comparison mode instead of the google-benchmark suites.
+// Positional mode arguments (`batch-vs-sequential`, `arena-vs-heap`,
+// `delta-vs-rebuild`, any combination, in order) select the comparison
+// modes instead of the google-benchmark suites.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool quick = false;
-  bool batch_mode = false;
+  std::vector<std::string> modes;
   std::string json_path = "BENCH_sim_perf.json";
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--quick") {
       quick = true;
-    } else if (arg == "batch-vs-sequential") {
-      batch_mode = true;
+    } else if (arg == "batch-vs-sequential" || arg == "arena-vs-heap" ||
+               arg == "delta-vs-rebuild") {
+      modes.emplace_back(arg);
     } else if (arg.rfind("--json-out=", 0) == 0) {
       json_path = std::string(arg.substr(std::string_view("--json-out=").size()));
     } else {
       args.push_back(argv[i]);
     }
   }
-  if (batch_mode) {
-    return dynet::runBatchVsSequential(quick, json_path);
+  if (!modes.empty()) {
+    return dynet::runCompareModes(modes, quick, json_path);
   }
   static char min_time[] = "--benchmark_min_time=0.02";
   if (quick) {

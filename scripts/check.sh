@@ -33,8 +33,9 @@ build/bench/bench_faults --quick --metrics-out "$obs_dir/bench_metrics.json" \
   > /dev/null
 build/tools/dynet_stats --in "$obs_dir/bench_metrics.json" > /dev/null
 
-echo "=== batch runner smoke (batch-vs-sequential equality + speedup) ==="
-build/bench/bench_sim_perf --quick batch-vs-sequential \
+echo "=== engine perf smoke (all comparison modes, equality + speedup) ==="
+build/bench/bench_sim_perf --quick \
+  batch-vs-sequential arena-vs-heap delta-vs-rebuild \
   --json-out="$obs_dir/BENCH_sim_perf.json"
 
 echo "=== sanitizer build (ASan + UBSan) ==="

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates the golden-corpus digests in tests/golden/.
+#
+# Run this ONLY when a canonical run legitimately changed (new trace
+# format, intentional protocol behaviour change, ...), then commit the
+# .golden diff together with the change that explains it.  A regeneration
+# that "fixes" an unexplained mismatch is hiding a regression.
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [[ ! -x "$BUILD_DIR/tests/golden_corpus_test" ]]; then
+  echo "building golden_corpus_test in $BUILD_DIR..." >&2
+  cmake --build "$BUILD_DIR" --target golden_corpus_test -j"$(nproc)"
+fi
+
+mkdir -p tests/golden
+DYNET_REGEN_GOLDEN=1 "$BUILD_DIR/tests/golden_corpus_test"
+echo "regenerated $(ls tests/golden/*.golden | wc -l) golden files:"
+git -c color.status=always status --short tests/golden/ || true

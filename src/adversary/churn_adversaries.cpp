@@ -47,6 +47,63 @@ net::GraphPtr EdgeChurnAdversary::topology(sim::Round /*round*/,
   return current_;
 }
 
+bool EdgeChurnAdversary::topologyUpdate(sim::Round /*round*/,
+                                        const sim::RoundObservation& /*obs*/,
+                                        const net::GraphPtr& prev,
+                                        sim::TopologyUpdate& out) {
+  if (churn_edges_ > 0 && n_ > 2) {
+    // Same churn moves and rng draws as topology(); remember each child's
+    // pre-churn parent so the net effect becomes a delta.
+    std::vector<std::pair<sim::NodeId, sim::NodeId>> moved;  // (child, old)
+    for (int c = 0; c < churn_edges_; ++c) {
+      const auto v = static_cast<sim::NodeId>(
+          1 + rng_.below(static_cast<std::uint64_t>(n_ - 1)));
+      bool seen = false;
+      for (const auto& [child, old_parent] : moved) {
+        if (child == v) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        moved.emplace_back(v, parent_[static_cast<std::size_t>(v)]);
+      }
+      parent_[static_cast<std::size_t>(v)] =
+          static_cast<sim::NodeId>(rng_.below(static_cast<std::uint64_t>(v)));
+    }
+    // Child-ascending order matches rebuild()'s edge order, so applyDelta's
+    // positional replacement reproduces it exactly.
+    std::sort(moved.begin(), moved.end());
+    std::vector<net::Edge> removed;
+    std::vector<net::Edge> added;
+    for (const auto& [child, old_parent] : moved) {
+      const sim::NodeId now = parent_[static_cast<std::size_t>(child)];
+      if (now != old_parent) {
+        removed.push_back({old_parent, child});
+        added.push_back({now, child});
+      }
+    }
+    if (!removed.empty()) {
+      if (!current_->warmed()) {
+        current_->warm();  // round-1 churn: the engine has not warmed yet
+      }
+      // Re-attaching children keeps the parent encoding a tree, so the
+      // result is always connected: assert that to carry the component
+      // cache across the delta (skips a per-round union-find pass).
+      current_ = current_->applyDelta(removed, added,
+                                      /*same_components=*/true);
+      out.edges_removed = removed.size();
+      out.edges_added = added.size();
+    }
+    out.graph = current_;
+    out.is_delta = true;
+    return true;
+  }
+  out.graph = current_;
+  out.is_delta = prev != nullptr;
+  return true;
+}
+
 RandomGraphAdversary::RandomGraphAdversary(sim::NodeId n, double p,
                                            std::uint64_t seed)
     : n_(n), p_(p), seed_(seed) {

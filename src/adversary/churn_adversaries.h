@@ -21,6 +21,15 @@ class EdgeChurnAdversary : public sim::Adversary {
   EdgeChurnAdversary(sim::NodeId n, int churn_edges, std::uint64_t seed);
 
   net::GraphPtr topology(sim::Round round, const sim::RoundObservation& obs) override;
+  /// Delta-native: performs the same churn moves (same rng draws) as
+  /// topology() but patches the previous graph with Graph::applyDelta —
+  /// one removed/added edge pair per re-attached child — instead of
+  /// rebuilding the whole tree.  Emits a value-identical edges() sequence
+  /// (the rebuild order is child-ascending and applyDelta replaces
+  /// positionally), so runs on either path match byte for byte.
+  bool topologyUpdate(sim::Round round, const sim::RoundObservation& obs,
+                      const net::GraphPtr& prev,
+                      sim::TopologyUpdate& out) override;
   sim::NodeId numNodes() const override { return n_; }
 
  private:

@@ -85,6 +85,18 @@ net::GraphPtr IntervalAdversary::topology(sim::Round round,
   return current_;
 }
 
+bool IntervalAdversary::topologyUpdate(sim::Round round,
+                                       const sim::RoundObservation& obs,
+                                       const net::GraphPtr& prev,
+                                       sim::TopologyUpdate& out) {
+  const bool held =
+      prev != nullptr && current_ != nullptr &&
+      (round - 1) / interval_ == current_epoch_;
+  out.graph = topology(round, obs);
+  out.is_delta = held;
+  return true;
+}
+
 AnchoredStarAdversary::AnchoredStarAdversary(sim::NodeId n, std::uint64_t seed)
     : n_(n), seed_(seed) {
   DYNET_CHECK(n >= 2) << "n=" << n;

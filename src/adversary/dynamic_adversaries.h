@@ -64,6 +64,11 @@ class IntervalAdversary : public sim::Adversary {
   IntervalAdversary(sim::NodeId n, sim::Round interval, std::uint64_t seed);
 
   net::GraphPtr topology(sim::Round round, const sim::RoundObservation& obs) override;
+  /// Delta-native within an epoch: rounds 2..T of each T-round interval
+  /// reuse the held tree unchanged; an epoch boundary builds fresh.
+  bool topologyUpdate(sim::Round round, const sim::RoundObservation& obs,
+                      const net::GraphPtr& prev,
+                      sim::TopologyUpdate& out) override;
   sim::NodeId numNodes() const override { return n_; }
 
  private:

@@ -8,13 +8,26 @@ StaticAdversary::StaticAdversary(net::GraphPtr graph) : graph_(std::move(graph))
   DYNET_CHECK(graph_ != nullptr) << "null graph";
   DYNET_CHECK(graph_->connected()) << "static topology must be connected";
   // The same GraphPtr is handed to every round (and possibly to many
-  // engines across trial threads): make it fully immutable up front.
-  graph_->warm();
+  // engines across trial threads): make it fully immutable up front.  A
+  // graph shared across trials is warmed exactly once — warmed() is the
+  // cross-trial fast path.
+  if (!graph_->warmed()) {
+    graph_->warm();
+  }
 }
 
 net::GraphPtr StaticAdversary::topology(sim::Round /*round*/,
                                         const sim::RoundObservation& /*obs*/) {
   return graph_;
+}
+
+bool StaticAdversary::topologyUpdate(sim::Round /*round*/,
+                                     const sim::RoundObservation& /*obs*/,
+                                     const net::GraphPtr& prev,
+                                     sim::TopologyUpdate& out) {
+  out.graph = graph_;
+  out.is_delta = prev != nullptr;
+  return true;
 }
 
 PeriodicAdversary::PeriodicAdversary(std::vector<net::GraphPtr> graphs)
@@ -24,13 +37,24 @@ PeriodicAdversary::PeriodicAdversary(std::vector<net::GraphPtr> graphs)
     DYNET_CHECK(g != nullptr && g->connected()) << "bad periodic topology";
     DYNET_CHECK(g->numNodes() == graphs_.front()->numNodes())
         << "periodic topologies must agree on N";
-    g->warm();  // shared across rounds/engines; see StaticAdversary
+    if (!g->warmed()) {
+      g->warm();  // shared across rounds/engines; see StaticAdversary
+    }
   }
 }
 
 net::GraphPtr PeriodicAdversary::topology(sim::Round round,
                                           const sim::RoundObservation& /*obs*/) {
   return graphs_[static_cast<std::size_t>((round - 1) % static_cast<sim::Round>(graphs_.size()))];
+}
+
+bool PeriodicAdversary::topologyUpdate(sim::Round round,
+                                       const sim::RoundObservation& obs,
+                                       const net::GraphPtr& prev,
+                                       sim::TopologyUpdate& out) {
+  out.graph = topology(round, obs);
+  out.is_delta = prev != nullptr;
+  return true;
 }
 
 }  // namespace dynet::adv

@@ -13,6 +13,11 @@ class StaticAdversary : public sim::Adversary {
   explicit StaticAdversary(net::GraphPtr graph);
 
   net::GraphPtr topology(sim::Round round, const sim::RoundObservation& obs) override;
+  /// Delta-native: every round after the first reuses the previous round's
+  /// graph unchanged (a zero-edge delta).
+  bool topologyUpdate(sim::Round round, const sim::RoundObservation& obs,
+                      const net::GraphPtr& prev,
+                      sim::TopologyUpdate& out) override;
   sim::NodeId numNodes() const override { return graph_->numNodes(); }
 
  private:
@@ -25,6 +30,11 @@ class PeriodicAdversary : public sim::Adversary {
   explicit PeriodicAdversary(std::vector<net::GraphPtr> graphs);
 
   net::GraphPtr topology(sim::Round round, const sim::RoundObservation& obs) override;
+  /// Delta-native in the cache-reuse sense: the pre-warmed cycle graphs
+  /// are handed out as incremental rounds (the engine re-derives nothing).
+  bool topologyUpdate(sim::Round round, const sim::RoundObservation& obs,
+                      const net::GraphPtr& prev,
+                      sim::TopologyUpdate& out) override;
   sim::NodeId numNodes() const override { return graphs_.front()->numNodes(); }
 
  private:

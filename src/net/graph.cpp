@@ -65,6 +65,13 @@ void Graph::buildAdjacency() const {
     adj_list_[static_cast<std::size_t>(cursor[e.a]++)] = e.b;
     adj_list_[static_cast<std::size_t>(cursor[e.b]++)] = e.a;
   }
+  // Canonical ascending order per node: delivery walks neighbors() as a
+  // ready-sorted sender list, and applyDelta() patches lists by merge.
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    std::sort(adj_list_.begin() + adj_offsets_[static_cast<std::size_t>(v)],
+              adj_list_.begin() +
+                  adj_offsets_[static_cast<std::size_t>(v) + 1]);
+  }
 }
 
 std::span<const NodeId> Graph::neighbors(NodeId v) const {
@@ -103,7 +110,148 @@ void Graph::warm() const {
 
 bool Graph::hasEdge(NodeId a, NodeId b) const {
   const auto ns = neighbors(a);
-  return std::find(ns.begin(), ns.end(), b) != ns.end();
+  return std::binary_search(ns.begin(), ns.end(), b);
+}
+
+Graph::Graph(NodeId num_nodes, std::vector<Edge> edges, Unvalidated)
+    : num_nodes_(num_nodes), edges_(std::move(edges)) {}
+
+GraphPtr Graph::applyDelta(std::span<const Edge> removed,
+                           std::span<const Edge> added,
+                           bool same_components) const {
+  DYNET_CHECK(warmed()) << "applyDelta requires a warmed base graph";
+  for (const Edge& e : added) {
+    DYNET_CHECK(e.a >= 0 && e.a < num_nodes_ && e.b >= 0 && e.b < num_nodes_)
+        << "added edge (" << e.a << "," << e.b << ") out of range, n="
+        << num_nodes_;
+    DYNET_CHECK(e.a != e.b) << "added self-loop at " << e.a;
+  }
+
+  // Patch the edge list with positional replacement so the resulting
+  // sequence matches what a from-scratch rebuild in the same stable order
+  // would emit (trace byte-identity depends on edges() order).
+  std::vector<Edge> edges = edges_;
+  std::vector<std::size_t> removed_at(removed.size());
+  for (std::size_t i = 0; i < removed.size(); ++i) {
+    std::size_t pos = edges.size();
+    for (std::size_t j = 0; j < edges.size(); ++j) {
+      if (edges[j] == removed[i] &&
+          std::find(removed_at.begin(), removed_at.begin() + i, j) ==
+              removed_at.begin() + i) {
+        pos = j;
+        break;
+      }
+    }
+    DYNET_CHECK(pos < edges.size()) << "removed edge (" << removed[i].a << ","
+                                    << removed[i].b << ") not present";
+    removed_at[i] = pos;
+  }
+  const std::size_t paired = std::min(removed.size(), added.size());
+  for (std::size_t i = 0; i < paired; ++i) {
+    edges[removed_at[i]] = added[i];
+  }
+  for (std::size_t i = paired; i < added.size(); ++i) {
+    edges.push_back(added[i]);
+  }
+  if (removed.size() > paired) {
+    std::vector<std::size_t> holes(removed_at.begin() +
+                                       static_cast<std::ptrdiff_t>(paired),
+                                   removed_at.end());
+    std::sort(holes.begin(), holes.end());
+    std::size_t out = holes.front();
+    std::size_t next_hole = 0;
+    for (std::size_t j = holes.front(); j < edges.size(); ++j) {
+      if (next_hole < holes.size() && j == holes[next_hole]) {
+        ++next_hole;
+        continue;
+      }
+      edges[out++] = edges[j];
+    }
+    edges.resize(out);
+  }
+
+  auto result = std::shared_ptr<Graph>(
+      new Graph(num_nodes_, std::move(edges), Unvalidated{}));
+
+  // A delta touching a large fraction of the graph is cheaper to rebuild;
+  // leave the caches lazy and let first use pay the full build.
+  if ((removed.size() + added.size()) * 2 > edges_.size() + 2) {
+    return result;
+  }
+
+  // Patch the CSR adjacency: untouched nodes copy their (sorted) slice,
+  // touched nodes re-merge theirs.
+  std::vector<char> touched(static_cast<std::size_t>(num_nodes_), 0);
+  for (const Edge& e : removed) {
+    touched[static_cast<std::size_t>(e.a)] = 1;
+    touched[static_cast<std::size_t>(e.b)] = 1;
+  }
+  for (const Edge& e : added) {
+    touched[static_cast<std::size_t>(e.a)] = 1;
+    touched[static_cast<std::size_t>(e.b)] = 1;
+  }
+  result->adj_offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  result->adj_list_.resize(result->edges_.size() * 2);
+  std::vector<NodeId> scratch;
+  std::vector<NodeId> gone;  // removed neighbors of v, one entry per edge
+  std::int32_t out = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    result->adj_offsets_[idx] = out;
+    const std::size_t begin = static_cast<std::size_t>(adj_offsets_[idx]);
+    const std::size_t end = static_cast<std::size_t>(adj_offsets_[idx + 1]);
+    if (touched[idx] == 0) {
+      std::copy(adj_list_.begin() + static_cast<std::ptrdiff_t>(begin),
+                adj_list_.begin() + static_cast<std::ptrdiff_t>(end),
+                result->adj_list_.begin() + out);
+      out += static_cast<std::int32_t>(end - begin);
+      continue;
+    }
+    scratch.clear();
+    gone.clear();
+    for (const Edge& e : removed) {
+      if (e.a == v) {
+        gone.push_back(e.b);
+      } else if (e.b == v) {
+        gone.push_back(e.a);
+      }
+    }
+    for (std::size_t j = begin; j < end; ++j) {
+      const NodeId u = adj_list_[j];
+      const auto it = std::find(gone.begin(), gone.end(), u);
+      if (it != gone.end()) {
+        gone.erase(it);
+        continue;
+      }
+      scratch.push_back(u);
+    }
+    DYNET_CHECK(gone.empty()) << "removed edge missing from node " << v
+                              << "'s adjacency";
+    for (const Edge& e : added) {
+      if (e.a == v) {
+        scratch.push_back(e.b);
+      } else if (e.b == v) {
+        scratch.push_back(e.a);
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    std::copy(scratch.begin(), scratch.end(),
+              result->adj_list_.begin() + out);
+    out += static_cast<std::int32_t>(scratch.size());
+  }
+  result->adj_offsets_[static_cast<std::size_t>(num_nodes_)] = out;
+  result->adj_built_.store(true, std::memory_order_release);
+
+  // Components: adding edges to a connected graph keeps it connected; any
+  // removal (or a disconnected base) forces a full recompute, which stays
+  // lazy until someone asks — unless the caller asserted the component
+  // count survives this delta.
+  if (component_count_.has_value() &&
+      (same_components || (removed.empty() && *component_count_ == 1))) {
+    result->component_count_ = *component_count_;
+    result->components_ready_.store(true, std::memory_order_release);
+  }
+  return result;
 }
 
 bool connectedOn(const Graph& g, std::span<const char> alive) {

@@ -18,6 +18,18 @@ struct RoundObservation {
   std::span<const Action> actions;
 };
 
+/// Result of the incremental topology protocol (topologyUpdate below).
+struct TopologyUpdate {
+  net::GraphPtr graph;
+  /// True when `graph` was derived from the previous round's topology —
+  /// the same GraphPtr reused, or a Graph::applyDelta patch — rather than
+  /// built from scratch.  Feeds the topology/incremental_rounds metric.
+  bool is_delta = false;
+  // Best-effort delta size (0 for a same-graph reuse); observability only.
+  std::size_t edges_added = 0;
+  std::size_t edges_removed = 0;
+};
+
 class Adversary {
  public:
   virtual ~Adversary() = default;
@@ -25,6 +37,24 @@ class Adversary {
   /// Topology of `round` (1-based).  Must contain exactly numNodes() nodes
   /// and, per the model, be connected (the engine checks).
   virtual net::GraphPtr topology(Round round, const RoundObservation& obs) = 0;
+
+  /// Incremental variant, used by the engine when
+  /// EngineConfig::topology_deltas is set: fill `out` for `round` given
+  /// `prev`, the graph this adversary returned for round - 1 (null in
+  /// round 1).  Return false (the default) when there is no incremental
+  /// path — the engine then falls back to topology().  Contract: out.graph
+  /// must be value-identical (same node count, same edges() sequence) to
+  /// what topology() would have returned for the same round and
+  /// observation, so runs stay byte-identical across the two paths
+  /// (tests/fuzz_diff_test.cpp pins this for the zoo).
+  virtual bool topologyUpdate(Round round, const RoundObservation& obs,
+                              const net::GraphPtr& prev, TopologyUpdate& out) {
+    (void)round;
+    (void)obs;
+    (void)prev;
+    (void)out;
+    return false;
+  }
 
   virtual NodeId numNodes() const = 0;
 };

@@ -1,0 +1,118 @@
+// Bump arena for the round delivery hot path.
+//
+// The legacy delivery path copied every delivered Message into a per-node
+// std::vector<Message> inbox — for a dense round that is Θ(deliveries)
+// 40-byte copies plus allocator churn per receiver.  The RoundArena owns
+// all delivery-side storage for one round in three flat vectors:
+//
+//   refs      MessageRef spans handed to receivers (one contiguous run per
+//             receiver, bump-allocated across the round),
+//   payloads  Message slots for payloads the arena must own (corrupted
+//             copies from the fault injector),
+//   inbox     Message slots used by the compatibility shim to materialize
+//             a contiguous span for protocols still on onDeliver.
+//
+// Cursors bump forward during the round and rewind in O(1) at round end
+// (endRound); capacity and high-water marks survive, so a workspace reused
+// across trials (sim::BatchRunner) reaches a steady state with zero
+// allocations per round.  Lifetime contract (docs/ARCHITECTURE.md): a span
+// handed to one receiver is dead once its onDeliver/onDeliverRefs returns —
+// beginInbox() for the *next* receiver may grow the vectors and relocate
+// earlier runs.  Within one receiver's build, beginInbox() pre-reserves
+// the worst case so nothing moves while refs are being pushed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/message.h"
+#include "sim/process.h"
+
+namespace dynet::sim {
+
+class RoundArena {
+ public:
+  /// Starts one receiver's inbox: guarantees room for `max_msgs` refs,
+  /// owned payloads, and shim slots, so no pointer or span handed out for
+  /// this receiver is invalidated while its inbox is built.  `max_msgs`
+  /// is typically the receiver's sending-neighbor count.
+  void beginInbox(std::size_t max_msgs) {
+    ensure(refs_, refs_used_ + max_msgs);
+    ensure(payloads_, payloads_used_ + max_msgs);
+    ensure(inbox_, inbox_used_ + max_msgs);
+    inbox_refs_begin_ = refs_used_;
+  }
+
+  void pushRef(NodeId sender, const Message* payload) {
+    refs_[refs_used_++] = MessageRef{sender, payload};
+  }
+
+  /// Slot for a payload the arena must own (a corrupted copy whose value
+  /// exists nowhere else).  Stable until the next beginInbox().
+  Message* allocPayload() { return &payloads_[payloads_used_++]; }
+
+  /// The refs pushed since the last beginInbox(), in push order.
+  std::span<const MessageRef> refs() const {
+    return {refs_.data() + inbox_refs_begin_, refs_used_ - inbox_refs_begin_};
+  }
+
+  /// Contiguous Message copies of `refs` — the compatibility shim for
+  /// protocols still taking span<const Message>.
+  std::span<const Message> materialize(std::span<const MessageRef> refs) {
+    Message* out = inbox_.data() + inbox_used_;
+    for (const MessageRef& r : refs) {
+      inbox_[inbox_used_++] = *r.payload;
+    }
+    return {out, refs.size()};
+  }
+
+  /// O(1) end-of-round reset: cursors rewind, capacity and high-water
+  /// marks survive.
+  void endRound() {
+    refs_high_water_ = std::max(refs_high_water_, refs_used_);
+    payloads_high_water_ = std::max(payloads_high_water_, payloads_used_);
+    inbox_high_water_ = std::max(inbox_high_water_, inbox_used_);
+    refs_used_ = 0;
+    payloads_used_ = 0;
+    inbox_used_ = 0;
+    inbox_refs_begin_ = 0;
+  }
+
+  // Largest single-round usage seen since reset(), exported as the
+  // arena/* gauges (docs/OBSERVABILITY.md).
+  std::size_t refsHighWater() const { return refs_high_water_; }
+  std::size_t payloadsHighWater() const { return payloads_high_water_; }
+  std::size_t inboxHighWater() const { return inbox_high_water_; }
+
+  /// Per-run reset: cursors and high-water marks to zero, capacity kept
+  /// (the EngineWorkspace contract: capacity, never data, crosses trials).
+  void reset() {
+    endRound();
+    refs_high_water_ = 0;
+    payloads_high_water_ = 0;
+    inbox_high_water_ = 0;
+  }
+
+ private:
+  template <typename T>
+  static void ensure(std::vector<T>& v, std::size_t size) {
+    if (v.size() < size) {
+      v.resize(std::max(size, v.size() * 2));
+    }
+  }
+
+  std::vector<MessageRef> refs_;
+  std::vector<Message> payloads_;
+  std::vector<Message> inbox_;
+  std::size_t refs_used_ = 0;
+  std::size_t payloads_used_ = 0;
+  std::size_t inbox_used_ = 0;
+  std::size_t inbox_refs_begin_ = 0;
+  std::size_t refs_high_water_ = 0;
+  std::size_t payloads_high_water_ = 0;
+  std::size_t inbox_high_water_ = 0;
+};
+
+}  // namespace dynet::sim

@@ -115,6 +115,15 @@ void Engine::finalizeMetrics() {
       ->set(static_cast<double>(result_.all_done_round));
   reg.gauge("engine/max_bits_per_node")
       ->set(static_cast<double>(result_.max_bits_per_node));
+  // Arena high-water marks (zero on the legacy delivery path).  Like the
+  // topology/ counters, the arena/ prefix is reserved for metrics allowed
+  // to differ between the legacy and arena+delta engine paths.
+  reg.gauge("arena/refs_high_water")
+      ->set(static_cast<double>(ws_->arena.refsHighWater()));
+  reg.gauge("arena/payloads_high_water")
+      ->set(static_cast<double>(ws_->arena.payloadsHighWater()));
+  reg.gauge("arena/inbox_high_water")
+      ->set(static_cast<double>(ws_->arena.inboxHighWater()));
   obs::Series* node_bits = reg.series("node/bits_sent");
   obs::Series* node_done = reg.series("node/done_round");
   std::vector<std::pair<std::string, double>> exported;

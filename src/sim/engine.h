@@ -53,6 +53,21 @@ struct EngineConfig {
   bool relax_connectivity_to_live = true;
   bool record_topologies = false;
   bool record_actions = false;
+  /// Round hot-path selection.  The default (true) delivers through the
+  /// workspace's RoundArena: zero-copy MessageRef spans for protocols that
+  /// opt in (Process::wantsMessageRefs), arena-materialized inboxes for the
+  /// rest.  False selects the legacy per-receiver std::vector<Message>
+  /// path — kept verbatim for differential testing
+  /// (tests/fuzz_diff_test.cpp) and the bench's arena-vs-heap mode.  Both
+  /// paths are byte-identical by contract.
+  bool arena_delivery = true;
+  /// When true (the default) the engine offers each round to
+  /// Adversary::topologyUpdate first, letting delta-native adversaries
+  /// reuse or patch the previous round's graph instead of rebuilding;
+  /// adversaries without an incremental path fall back to topology().
+  /// False always calls topology() — the legacy path, byte-identical by
+  /// the topologyUpdate contract.
+  bool topology_deltas = true;
   /// Stop as soon as every process reports done().  With a FaultInjector,
   /// crashed nodes are exempt: the run stops when every live node is done.
   bool stop_when_all_done = true;

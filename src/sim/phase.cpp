@@ -23,6 +23,9 @@ EngineObs::EngineObs(obs::MetricsSink* s) : sink(s), trace(s->trace) {
       {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096});
   round_bits = reg.series("round/bits_sent");
   round_messages = reg.series("round/messages_sent");
+  topo_incremental = reg.counter("topology/incremental_rounds");
+  topo_full = reg.counter("topology/full_builds");
+  topo_cold_warms = reg.counter("topology/cold_warms");
 }
 
 bool allLiveDone(const std::vector<std::unique_ptr<Process>>& processes,
@@ -98,14 +101,29 @@ void ComputePhase::run(RoundContext& ctx) {
   EngineWorkspace& ws = *ctx.ws;
   RunResult& result = *ctx.result;
   ws.actions.resize(processes.size());
+  // Per-node coin-key prefixes, hashed once per run: fromNodeKey yields the
+  // exact CoinStream(seed, node, round) streams at half the construction
+  // hashing.
+  if (ws.coin_keys.size() != processes.size()) {
+    ws.coin_keys.resize(processes.size());
+    ws.wants_refs.resize(processes.size());
+    for (NodeId v = 0; v < ctx.n; ++v) {
+      ws.coin_keys[static_cast<std::size_t>(v)] =
+          util::hashCombine(ctx.seed, static_cast<std::uint64_t>(v));
+      // Cached once per run: the answer is a class property, and the
+      // delivery loop asks for every receiver every round.
+      ws.wants_refs[static_cast<std::size_t>(v)] =
+          processes[static_cast<std::size_t>(v)]->wantsMessageRefs() ? 1 : 0;
+    }
+  }
   for (NodeId v = 0; v < ctx.n; ++v) {
     const auto idx = static_cast<std::size_t>(v);
     if (ctx.faulty && ws.alive[idx] == 0) {
       ws.actions[idx] = Action{};
       continue;
     }
-    util::CoinStream coins(ctx.seed, static_cast<std::uint64_t>(v),
-                           static_cast<std::uint64_t>(ctx.round));
+    util::CoinStream coins = util::CoinStream::fromNodeKey(
+        ws.coin_keys[idx], static_cast<std::uint64_t>(ctx.round));
     ws.actions[idx] = processes[idx]->onRound(ctx.round, coins);
     const Action& a = ws.actions[idx];
     if (a.send) {
@@ -128,13 +146,43 @@ void ComputePhase::run(RoundContext& ctx) {
 
 // The adversary fixes the topology after observing the actions; the engine
 // checks the model's connectivity invariant and warms the graph's lazy
-// caches so the GraphPtr is safe to share across threads afterwards.
+// caches so the GraphPtr is safe to share across threads afterwards.  With
+// topology_deltas set, delta-native adversaries get first refusal via
+// topologyUpdate and may reuse or patch the previous round's graph; the
+// warm step skips graphs that are already warm (shared static/periodic
+// topologies, applyDelta results), so only genuinely cold graphs pay.
 void AdversaryPhase::run(RoundContext& ctx) {
   RoundObservation obs{ctx.ws->actions};
-  net::GraphPtr g = ctx.adversary->topology(ctx.round, obs);
+  net::GraphPtr g;
+  bool incremental = false;
+  if (ctx.config->topology_deltas) {
+    TopologyUpdate update;
+    if (ctx.adversary->topologyUpdate(ctx.round, obs, ctx.ws->prev_topology,
+                                      update)) {
+      g = std::move(update.graph);
+      incremental = update.is_delta;
+    }
+  }
+  if (g == nullptr) {
+    g = ctx.adversary->topology(ctx.round, obs);
+  }
   DYNET_CHECK(g != nullptr) << "adversary returned null topology";
   DYNET_CHECK(g->numNodes() == ctx.n) << "topology node count mismatch";
-  g->warm();
+  if (g.get() != ctx.ws->last_warmed) {
+    if (!g->warmed()) {
+      g->warm();
+      if (ctx.obs != nullptr) {
+        ctx.obs->topo_cold_warms->inc();
+      }
+    }
+    ctx.ws->last_warmed = g.get();
+  }
+  if (ctx.obs != nullptr) {
+    (incremental ? ctx.obs->topo_incremental : ctx.obs->topo_full)->inc();
+  }
+  if (ctx.config->topology_deltas) {
+    ctx.ws->prev_topology = g;
+  }
   if (ctx.config->check_connectivity) {
     if (ctx.faulty && ctx.config->relax_connectivity_to_live &&
         ctx.injector->plan().hasCrashes()) {
@@ -163,11 +211,100 @@ void AdversaryPhase::run(RoundContext& ctx) {
   ctx.topology = std::move(g);
 }
 
+namespace {
+
+// Arena delivery: one bump arena owns every ref span, corrupted payload
+// copy, and shim inbox slot for the round; receivers that opted in via
+// wantsMessageRefs() get zero-copy MessageRef spans pointing straight at
+// the senders' Action payloads.  neighbors() is sorted ascending, so
+// walking it yields the canonical ascending-sender delivery order without
+// the legacy path's collect-and-sort step.  Semantically byte-identical to
+// the legacy path below (tests/fuzz_diff_test.cpp).
+void deliverThroughArena(RoundContext& ctx) {
+  auto& processes = *ctx.processes;
+  EngineWorkspace& ws = *ctx.ws;
+  RunResult& result = *ctx.result;
+  RoundArena& arena = ws.arena;
+  const net::Graph& g = *ctx.topology;
+  const Action* const actions = ws.actions.data();
+  const char* const wants_refs = ws.wants_refs.data();
+  for (NodeId v = 0; v < ctx.n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (ctx.faulty && ws.alive[vi] == 0) {
+      continue;  // crashed: no onDeliver
+    }
+    Process& p = *processes[vi];
+    if (actions[vi].send) {
+      if (wants_refs[vi] != 0) {
+        p.onDeliverRefs(ctx.round, true, {});
+      } else {
+        p.onDeliver(ctx.round, true, {});
+      }
+      continue;
+    }
+    const std::span<const NodeId> neighbors = g.neighbors(v);
+    arena.beginInbox(neighbors.size());
+    if (!ctx.faulty) {
+      for (const NodeId u : neighbors) {
+        const Action& a = actions[static_cast<std::size_t>(u)];
+        if (a.send) {
+          arena.pushRef(u, &a.msg);
+        }
+      }
+    } else {
+      for (const NodeId u : neighbors) {
+        const Action& a = actions[static_cast<std::size_t>(u)];
+        if (!a.send) {
+          continue;
+        }
+        const auto fate = ctx.injector->deliveryFate(u, v, ctx.round);
+        if (fate == faults::FaultPlan::Fate::kDrop) {
+          ++result.messages_dropped;
+          if (ctx.obs != nullptr) {
+            ctx.obs->messages_dropped->inc();
+          }
+          continue;
+        }
+        if (fate == faults::FaultPlan::Fate::kCorrupt) {
+          ++result.messages_corrupted;
+          if (ctx.obs != nullptr) {
+            ctx.obs->messages_corrupted->inc();
+          }
+          if (!ctx.injector->plan().config().deliver_corrupted) {
+            continue;  // link-layer CRC catches it
+          }
+          Message* slot = arena.allocPayload();
+          *slot = ctx.injector->corrupted(a.msg, u, v, ctx.round);
+          arena.pushRef(u, slot);
+          continue;
+        }
+        arena.pushRef(u, &a.msg);
+      }
+    }
+    const std::span<const MessageRef> refs = arena.refs();
+    if (wants_refs[vi] != 0) {
+      p.onDeliverRefs(ctx.round, false, refs);
+    } else {
+      p.onDeliver(ctx.round, false, arena.materialize(refs));
+    }
+  }
+  arena.endRound();
+}
+
+}  // namespace
+
 // Every receiving node gets the messages of its sending neighbors.  The
 // fault injector sits between the send decision and onDeliver: each
 // individual (sender, receiver) delivery may be dropped or corrupted;
-// crashed receivers get nothing at all.
+// crashed receivers get nothing at all.  The arena path above is the
+// default; the else-branch is the legacy per-receiver-vector path, kept
+// verbatim as the differential-testing baseline.
 void DeliveryPhase::run(RoundContext& ctx) {
+  if (ctx.config->arena_delivery) {
+    deliverThroughArena(ctx);
+    closeSpan(ctx, "delivery");
+    return;
+  }
   auto& processes = *ctx.processes;
   EngineWorkspace& ws = *ctx.ws;
   RunResult& result = *ctx.result;

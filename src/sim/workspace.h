@@ -17,8 +17,11 @@
 //     one — single-run callers see no API or behaviour change.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "net/graph.h"
+#include "sim/arena.h"
 #include "sim/message.h"
 #include "sim/process.h"
 
@@ -27,14 +30,33 @@ namespace dynet::sim {
 struct EngineWorkspace {
   /// This round's decided actions, [node].  Rebuilt every round.
   std::vector<Action> actions;
-  /// Delivery scratch: the messages handed to the current receiver.
+  /// Legacy delivery scratch: the messages handed to the current receiver
+  /// (the arena path uses `arena` instead).
   std::vector<Message> inbox;
-  /// Delivery scratch: sending neighbors of the current receiver, sorted.
+  /// Legacy delivery scratch: sending neighbors of the current receiver,
+  /// sorted.
   std::vector<NodeId> inbox_senders;
   /// Fault scratch: this round's live mask (empty in clean runs).
   std::vector<char> alive;
   /// Fault scratch: down transitions already counted (empty in clean runs).
   std::vector<char> crash_counted;
+  /// Arena delivery path: per-round bump storage for refs, corrupted
+  /// payload copies, and shim inbox slots (sim/arena.h).
+  RoundArena arena;
+  /// Per-node CoinStream key prefixes hashCombine(seed, v), computed once
+  /// per run by ComputePhase; empty until the first round.
+  std::vector<std::uint64_t> coin_keys;
+  /// Per-node Process::wantsMessageRefs() answers, cached once per run by
+  /// ComputePhase (it is a class property, but the delivery loop would
+  /// otherwise pay the virtual call for every receiver every round).
+  std::vector<char> wants_refs;
+  /// Topology of the previous round, handed to Adversary::topologyUpdate
+  /// so delta-native adversaries can patch instead of rebuild.  Null in
+  /// round 1 and on the legacy (topology_deltas = false) path.
+  net::GraphPtr prev_topology;
+  /// Last graph AdversaryPhase warmed, so an adversary returning the same
+  /// GraphPtr for consecutive rounds skips even the warmed() check.
+  const net::Graph* last_warmed = nullptr;
 
   /// Drops all per-run state but keeps every vector's capacity.  The engine
   /// calls this on construction, so a reused workspace can never leak one
@@ -45,6 +67,11 @@ struct EngineWorkspace {
     inbox_senders.clear();
     alive.clear();
     crash_counted.clear();
+    arena.reset();
+    coin_keys.clear();
+    wants_refs.clear();
+    prev_topology = nullptr;
+    last_warmed = nullptr;
   }
 };
 

@@ -80,6 +80,14 @@ class CoinStream {
   CoinStream(std::uint64_t seed, std::uint64_t node, std::uint64_t round)
       : key_(hashCombine(hashCombine(seed, node), round)), counter_(0) {}
 
+  /// Same stream as CoinStream(seed, node, round) when node_key ==
+  /// hashCombine(seed, node).  The engine precomputes the node keys once
+  /// per trial, halving the per-(node, round) construction hashing without
+  /// touching the coin values.
+  static CoinStream fromNodeKey(std::uint64_t node_key, std::uint64_t round) {
+    return CoinStream(hashCombine(node_key, round));
+  }
+
   std::uint64_t u64() { return mix64(key_ ^ mix64(counter_++ + 0x243f6a8885a308d3ULL)); }
 
   bool coin() { return (u64() & 1) != 0; }
@@ -100,6 +108,8 @@ class CoinStream {
   }
 
  private:
+  explicit CoinStream(std::uint64_t key) : key_(key), counter_(0) {}
+
   std::uint64_t key_;
   std::uint64_t counter_;
 };

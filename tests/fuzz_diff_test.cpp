@@ -1,0 +1,277 @@
+// Differential fuzz over the engine's dual hot paths.
+//
+// The arena delivery path and the incremental topology cache (PR: arena
+// hot path + topology deltas) are required to be BYTE-IDENTICAL to the
+// legacy engine: same RunResult fields, same per-node state digests, same
+// serialized traces, same metrics.json — modulo the two reserved metric
+// prefixes (`topology/`, `arena/`) that report how the work was done
+// rather than what the protocol did.
+//
+// This test samples random (adversary, protocol, fault-plan) configs from
+// a fixed master seed and runs each through all four flag combinations of
+// {arena_delivery, topology_deltas}, asserting every combination matches
+// the legacy (false, false) artifacts exactly.
+//
+// Budget: the default config count keeps the test inside the tier-1 ctest
+// `--quick` budget (a few seconds).  Set DYNET_FUZZ_CONFIGS=<count> to
+// fuzz harder (e.g. 500 configs overnight); the sampled stream is stable,
+// so a failure reproduces from its printed config index alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/churn_adversaries.h"
+#include "adversary/dynamic_adversaries.h"
+#include "adversary/static_adversaries.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "net/graph.h"
+#include "obs/sink.h"
+#include "protocols/flood.h"
+#include "protocols/max_flood.h"
+#include "protocols/oracles.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace dynet::sim {
+namespace {
+
+struct FuzzConfig {
+  NodeId n = 0;
+  Round rounds = 0;
+  int adversary = 0;       // index into the zoo below
+  int protocol = 0;        // 0 flood-det, 1 flood-rand, 2 max_flood, 3 babbler
+  std::uint64_t adv_seed = 0;
+  std::uint64_t run_seed = 0;
+  bool with_sink = false;
+  bool faulty = false;
+  faults::FaultConfig fc;
+};
+
+constexpr int kAdversaryKinds = 9;
+
+std::unique_ptr<Adversary> makeAdversary(const FuzzConfig& c) {
+  switch (c.adversary) {
+    case 0:
+      return std::make_unique<adv::StaticAdversary>(net::makePath(c.n));
+    case 1:
+      return std::make_unique<adv::StaticAdversary>(net::makeStar(c.n));
+    case 2:
+      return std::make_unique<adv::RandomTreeAdversary>(c.n, c.adv_seed);
+    case 3:
+      return std::make_unique<adv::RotatingStarAdversary>(c.n);
+    case 4:
+      return std::make_unique<adv::AnchoredStarAdversary>(c.n, c.adv_seed);
+    case 5:
+      return std::make_unique<adv::ShufflePathAdversary>(c.n, c.adv_seed);
+    case 6:
+      return std::make_unique<adv::IntervalAdversary>(c.n, 6, c.adv_seed);
+    case 7:
+      return std::make_unique<adv::EdgeChurnAdversary>(
+          c.n, 1 + static_cast<int>(c.adv_seed % 4), c.adv_seed);
+    default:
+      return std::make_unique<adv::RandomGraphAdversary>(
+          c.n, 0.2 + 0.1 * static_cast<double>(c.adv_seed % 5), c.adv_seed);
+  }
+}
+
+std::unique_ptr<ProcessFactory> makeFactory(const FuzzConfig& c) {
+  switch (c.protocol) {
+    case 0:
+      return std::make_unique<proto::FloodFactory>(
+          0, 0x2a, 8, proto::FloodMode::kDeterministic, c.rounds / 2);
+    case 1:
+      return std::make_unique<proto::FloodFactory>(
+          0, 0x2a, 8, proto::FloodMode::kRandomized, c.rounds / 2);
+    case 2: {
+      std::vector<std::uint64_t> values;
+      for (NodeId v = 0; v < c.n; ++v) {
+        values.push_back(static_cast<std::uint64_t>((v * 37 + 11) % 100));
+      }
+      return std::make_unique<proto::MaxFloodFactory>(std::move(values), 8,
+                                                      c.rounds);
+    }
+    default:
+      return std::make_unique<proto::RandomBabblerFactory>(20);
+  }
+}
+
+/// Deterministic config #index from the master stream.  Sampling draws a
+/// fixed count of values per config, so config i is reproducible without
+/// replaying configs 0..i-1.
+FuzzConfig sampleConfig(std::uint64_t master_seed, int index) {
+  util::Rng rng(util::hashCombine(master_seed, static_cast<std::uint64_t>(index)));
+  FuzzConfig c;
+  c.n = static_cast<NodeId>(8 + rng.below(17));  // 8..24
+  c.rounds = static_cast<Round>(30 + rng.below(41));  // 30..70
+  c.adversary = static_cast<int>(rng.below(kAdversaryKinds));
+  c.protocol = static_cast<int>(rng.below(4));
+  c.adv_seed = rng.u64();
+  c.run_seed = rng.u64();
+  c.with_sink = rng.below(3) == 0;
+  c.faulty = rng.below(2) == 0;
+  if (c.faulty) {
+    c.fc.drop_prob = 0.1 * static_cast<double>(rng.below(4));        // 0..0.3
+    c.fc.corrupt_prob = 0.1 * static_cast<double>(rng.below(2));     // 0/0.1
+    // FloodProcess DYNET_CHECKs foreign tokens, so mangled payloads may
+    // only reach protocols that tolerate them.
+    c.fc.deliver_corrupted = c.protocol >= 2 && rng.below(2) == 0;
+    c.fc.crash_fraction = 0.25 * static_cast<double>(rng.below(2));  // 0/0.25
+    c.fc.crash_window = c.rounds / 2;
+    c.fc.restart = rng.below(2) == 0;
+    c.fc.restart_downtime = 8;
+  }
+  return c;
+}
+
+std::string describeConfig(const FuzzConfig& c, int index) {
+  std::ostringstream out;
+  out << "config " << index << ": n=" << c.n << " rounds=" << c.rounds
+      << " adversary=" << c.adversary << " protocol=" << c.protocol
+      << " adv_seed=" << c.adv_seed << " run_seed=" << c.run_seed
+      << " sink=" << c.with_sink << " faulty=" << c.faulty;
+  return out.str();
+}
+
+struct TrialArtifacts {
+  RunResult result;
+  std::vector<std::uint64_t> digests;
+  std::string trace;
+  std::string metrics_json;  // reserved-prefix lines already stripped
+
+  friend bool operator==(const TrialArtifacts& x, const TrialArtifacts& y) {
+    return x.result.rounds_executed == y.result.rounds_executed &&
+           x.result.all_done == y.result.all_done &&
+           x.result.all_done_round == y.result.all_done_round &&
+           x.result.done_round == y.result.done_round &&
+           x.result.messages_sent == y.result.messages_sent &&
+           x.result.bits_sent == y.result.bits_sent &&
+           x.result.bits_per_node == y.result.bits_per_node &&
+           x.result.max_bits_per_node == y.result.max_bits_per_node &&
+           x.result.bits_per_round == y.result.bits_per_round &&
+           x.result.crashes == y.result.crashes &&
+           x.result.restarts == y.result.restarts &&
+           x.result.messages_dropped == y.result.messages_dropped &&
+           x.result.messages_corrupted == y.result.messages_corrupted &&
+           x.digests == y.digests && x.trace == y.trace &&
+           x.metrics_json == y.metrics_json;
+  }
+};
+
+/// Drops every line mentioning a reserved-prefix metric.  `topology/` and
+/// `arena/` report which hot path executed (delta hit rates, arena high
+/// water marks) and are the ONLY metrics allowed to differ between the
+/// legacy and arena+delta engines.  Both paths register the same names,
+/// so stripping is symmetric and the remainders stay comparable.
+std::string stripReservedMetrics(const std::string& json) {
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"topology/") != std::string::npos ||
+        line.find("\"arena/") != std::string::npos) {
+      continue;
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+TrialArtifacts runConfig(const FuzzConfig& c, bool arena_delivery,
+                         bool topology_deltas) {
+  const std::unique_ptr<ProcessFactory> factory = makeFactory(c);
+  std::vector<std::unique_ptr<Process>> ps;
+  for (NodeId v = 0; v < c.n; ++v) {
+    ps.push_back(factory->create(v, c.n));
+  }
+  obs::MetricsSink sink;
+  EngineConfig config;
+  config.max_rounds = c.rounds;
+  config.record_topologies = true;
+  config.record_actions = true;
+  config.stop_when_all_done = false;
+  // Random crash schedules on random topologies routinely disconnect the
+  // live subgraph; the fuzzer compares implementations on arbitrary
+  // inputs, it does not certify model validity — so the model's
+  // connectivity guard is off here (and off identically on both paths).
+  config.check_connectivity = false;
+  config.metrics = c.with_sink ? &sink : nullptr;
+  config.arena_delivery = arena_delivery;
+  config.topology_deltas = topology_deltas;
+  Engine engine(std::move(ps), makeAdversary(c), config, c.run_seed);
+  if (c.faulty) {
+    engine.setFaultInjector(std::make_shared<const faults::FaultInjector>(
+        faults::FaultPlan(c.n, c.fc, c.run_seed * 0x9E3779B97F4A7C15ULL + 0xFA),
+        factory.get()));
+  }
+  TrialArtifacts artifacts;
+  artifacts.result = engine.run();
+  for (NodeId v = 0; v < c.n; ++v) {
+    artifacts.digests.push_back(engine.process(v).stateDigest());
+  }
+  std::ostringstream trace;
+  writeTrace(trace, traceFromEngine(engine));
+  artifacts.trace = trace.str();
+  if (c.with_sink) {
+    std::ostringstream json;
+    sink.registry.writeJson(json);
+    artifacts.metrics_json = stripReservedMetrics(json.str());
+  }
+  return artifacts;
+}
+
+int configCount() {
+  if (const char* env = std::getenv("DYNET_FUZZ_CONFIGS")) {
+    const int count = std::atoi(env);
+    if (count > 0) {
+      return count;
+    }
+  }
+  return 24;  // --quick budget: a few seconds of tier-1 ctest time
+}
+
+TEST(FuzzDiff, ArenaAndDeltaPathsMatchLegacyByteForByte) {
+  const std::uint64_t master_seed = 0xF02Dull;
+  const int count = configCount();
+  for (int i = 0; i < count; ++i) {
+    const FuzzConfig c = sampleConfig(master_seed, i);
+    const TrialArtifacts legacy = runConfig(c, false, false);
+    // All three non-legacy combinations — the shipping default
+    // (true, true) plus both single-flag engines, so a regression in
+    // either subsystem is attributed to the right flag.
+    const TrialArtifacts arena_only = runConfig(c, true, false);
+    const TrialArtifacts delta_only = runConfig(c, false, true);
+    const TrialArtifacts both = runConfig(c, true, true);
+    EXPECT_TRUE(legacy == arena_only)
+        << describeConfig(c, i) << " [arena_delivery only]";
+    EXPECT_TRUE(legacy == delta_only)
+        << describeConfig(c, i) << " [topology_deltas only]";
+    EXPECT_TRUE(legacy == both) << describeConfig(c, i) << " [both flags]";
+    if (HasFailure()) {
+      break;  // one reproducible config is enough to debug
+    }
+  }
+}
+
+// The stripper itself is load-bearing for the comparisons above: pin that
+// it removes exactly the reserved-prefix lines and nothing else.
+TEST(FuzzDiff, ReservedMetricStripping) {
+  const std::string json =
+      "{\n"
+      "    \"engine/rounds\": 5,\n"
+      "    \"topology/full_builds\": 5,\n"
+      "    \"arena/refs_high_water\": 12,\n"
+      "    \"flood/has_token\": 1\n"
+      "}\n";
+  EXPECT_EQ(stripReservedMetrics(json),
+            "{\n    \"engine/rounds\": 5,\n    \"flood/has_token\": 1\n}\n");
+}
+
+}  // namespace
+}  // namespace dynet::sim

@@ -1,0 +1,274 @@
+// Golden-corpus regression: canonical run digests pinned to files.
+//
+// One canonical run per protocol family plus one per lower-bound
+// construction (Γ = CFloodNetwork, Λ = ConsensusNetwork on a DISJ=1
+// instance, Υ = ConsensusNetwork on a DISJ=0 instance).  Each run's
+// artifacts — RunResult fields, per-node state digests, and an FNV-1a
+// digest of the serialized trace — are written as key=value lines and
+// compared byte-for-byte against `tests/golden/<name>.golden`.
+//
+// Unlike the differential fuzz test (which compares two engine paths
+// against each other and so would miss a bug that breaks both the same
+// way), the corpus pins today's behaviour against the repository history:
+// any engine, protocol, adversary, or trace-format change that shifts a
+// canonical run fails here with a readable key-level diff.
+//
+// Regenerate intentionally with scripts/regen_golden.sh (which runs this
+// binary with DYNET_REGEN_GOLDEN=1) and commit the .golden diff alongside
+// the change that explains it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/churn_adversaries.h"
+#include "adversary/dynamic_adversaries.h"
+#include "cc/disjointness_cp.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "lowerbound/composition.h"
+#include "protocols/cflood.h"
+#include "protocols/counting.h"
+#include "protocols/flood.h"
+#include "protocols/gossip.h"
+#include "protocols/hear_from_n.h"
+#include "protocols/max_flood.h"
+#include "protocols/oracles.h"
+#include "protocols/resilient_flood.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+
+#ifndef DYNET_GOLDEN_DIR
+#error "DYNET_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace dynet {
+namespace {
+
+/// FNV-1a over the serialized trace.  Deliberately not std::hash (which is
+/// implementation-defined and may differ across standard libraries): the
+/// .golden files must mean the same bytes on every toolchain.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char ch : s) {
+    h ^= ch;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+std::string joined(const std::vector<T>& xs) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out << (i == 0 ? "" : ",") << xs[i];
+  }
+  return out.str();
+}
+
+/// The canonical artifact rendering: stable key=value lines, one per
+/// field, so a golden mismatch reads as a field-level diff in gtest
+/// output rather than an opaque hash flip.
+std::string renderArtifacts(sim::Engine& engine, const sim::RunResult& r) {
+  std::ostringstream out;
+  out << "rounds_executed=" << r.rounds_executed << "\n";
+  out << "all_done=" << (r.all_done ? 1 : 0) << "\n";
+  out << "all_done_round=" << r.all_done_round << "\n";
+  out << "done_round=" << joined(r.done_round) << "\n";
+  out << "messages_sent=" << r.messages_sent << "\n";
+  out << "bits_sent=" << r.bits_sent << "\n";
+  out << "bits_per_node=" << joined(r.bits_per_node) << "\n";
+  out << "max_bits_per_node=" << r.max_bits_per_node << "\n";
+  out << "bits_per_round=" << joined(r.bits_per_round) << "\n";
+  out << "crashes=" << r.crashes << "\n";
+  out << "restarts=" << r.restarts << "\n";
+  out << "messages_dropped=" << r.messages_dropped << "\n";
+  out << "messages_corrupted=" << r.messages_corrupted << "\n";
+  std::uint64_t state = 1469598103934665603ull;
+  for (sim::NodeId v = 0; v < engine.numNodes(); ++v) {
+    state = util::hashCombine(state, engine.process(v).stateDigest());
+  }
+  out << "state_digest=" << state << "\n";
+  std::ostringstream trace;
+  sim::writeTrace(trace, sim::traceFromEngine(engine));
+  out << "trace_fnv1a=" << fnv1a(trace.str()) << "\n";
+  return out.str();
+}
+
+sim::EngineConfig canonicalConfig(sim::Round rounds) {
+  sim::EngineConfig config;
+  config.max_rounds = rounds;
+  config.record_topologies = true;
+  config.record_actions = true;
+  config.stop_when_all_done = false;
+  return config;
+}
+
+std::string runCanonical(const sim::ProcessFactory& factory,
+                         std::unique_ptr<sim::Adversary> adversary,
+                         sim::Round rounds, std::uint64_t seed,
+                         const faults::FaultConfig* fc = nullptr) {
+  const sim::NodeId n = adversary->numNodes();
+  std::vector<std::unique_ptr<sim::Process>> ps;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    ps.push_back(factory.create(v, n));
+  }
+  sim::Engine engine(std::move(ps), std::move(adversary),
+                     canonicalConfig(rounds), seed);
+  if (fc != nullptr) {
+    engine.setFaultInjector(std::make_shared<const faults::FaultInjector>(
+        faults::FaultPlan(n, *fc, seed ^ 0xFA), &factory));
+  }
+  const sim::RunResult r = engine.run();
+  return renderArtifacts(engine, r);
+}
+
+/// Compares `rendered` against DYNET_GOLDEN_DIR/<name>.golden, or rewrites
+/// the file when DYNET_REGEN_GOLDEN is set.
+void expectGolden(const std::string& name, const std::string& rendered) {
+  const std::string path = std::string(DYNET_GOLDEN_DIR) + "/" + name + ".golden";
+  if (std::getenv("DYNET_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run scripts/regen_golden.sh";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), rendered)
+      << "canonical run drifted from " << path
+      << " — if intentional, regenerate via scripts/regen_golden.sh and "
+         "commit the diff";
+}
+
+// ------------------------------------------------------------- protocols
+
+TEST(GoldenCorpus, FloodDeterministicOnEdgeChurn) {
+  proto::FloodFactory factory(0, 0x2a, 8, proto::FloodMode::kDeterministic,
+                              /*halt_round=*/40);
+  expectGolden("flood_det_edge_churn",
+               runCanonical(factory,
+                            std::make_unique<adv::EdgeChurnAdversary>(20, 2, 7),
+                            /*rounds=*/48, /*seed=*/0xA001));
+}
+
+TEST(GoldenCorpus, FloodRandomizedOnRandomGraph) {
+  proto::FloodFactory factory(0, 0x2a, 8, proto::FloodMode::kRandomized,
+                              /*halt_round=*/40);
+  expectGolden(
+      "flood_rand_random_graph",
+      runCanonical(factory,
+                   std::make_unique<adv::RandomGraphAdversary>(18, 0.4, 5),
+                   /*rounds=*/48, /*seed=*/0xA002));
+}
+
+TEST(GoldenCorpus, MaxFloodOnRotatingStar) {
+  std::vector<std::uint64_t> values;
+  for (int v = 0; v < 16; ++v) {
+    values.push_back(static_cast<std::uint64_t>((v * 37 + 11) % 100));
+  }
+  proto::MaxFloodFactory factory(values, 8, /*total_rounds=*/40);
+  expectGolden("max_flood_rotating_star",
+               runCanonical(factory,
+                            std::make_unique<adv::RotatingStarAdversary>(16),
+                            /*rounds=*/48, /*seed=*/0xA003));
+}
+
+TEST(GoldenCorpus, CFloodOnShufflePath) {
+  proto::CFloodFactory factory(0, 0x15, 8, proto::FloodMode::kDeterministic,
+                               /*wait_rounds=*/15);
+  expectGolden("cflood_shuffle_path",
+               runCanonical(factory,
+                            std::make_unique<adv::ShufflePathAdversary>(16, 3),
+                            /*rounds=*/40, /*seed=*/0xA004));
+}
+
+TEST(GoldenCorpus, CountingOnIntervalAdversary) {
+  proto::CountingFactory factory(/*k=*/2, /*total_rounds=*/60,
+                                 /*master_seed=*/0xC0);
+  expectGolden("counting_interval",
+               runCanonical(factory,
+                            std::make_unique<adv::IntervalAdversary>(12, 6, 4),
+                            /*rounds=*/60, /*seed=*/0xA005));
+}
+
+TEST(GoldenCorpus, HearFromNOnAnchoredStar) {
+  proto::HearFromNFactory factory(/*k=*/8, /*max_rounds=*/60,
+                                  /*master_seed=*/0xB1, /*epsilon=*/0.1);
+  expectGolden("hear_from_n_anchored_star",
+               runCanonical(factory,
+                            std::make_unique<adv::AnchoredStarAdversary>(14, 6),
+                            /*rounds=*/60, /*seed=*/0xA006));
+}
+
+TEST(GoldenCorpus, GossipOnRandomTree) {
+  proto::GossipFactory factory(/*total_tokens=*/4, /*total_rounds=*/56);
+  expectGolden("gossip_random_tree",
+               runCanonical(factory,
+                            std::make_unique<adv::RandomTreeAdversary>(14, 8),
+                            /*rounds=*/56, /*seed=*/0xA007));
+}
+
+TEST(GoldenCorpus, BabblerUnderFaults) {
+  proto::RandomBabblerFactory factory(20);
+  faults::FaultConfig fc;
+  fc.drop_prob = 0.2;
+  fc.corrupt_prob = 0.1;
+  fc.deliver_corrupted = true;
+  fc.crash_fraction = 0.25;
+  fc.crash_window = 24;
+  fc.restart = true;
+  fc.restart_downtime = 8;
+  expectGolden(
+      "babbler_faulted_random_graph",
+      runCanonical(factory,
+                   std::make_unique<adv::RandomGraphAdversary>(16, 0.5, 9),
+                   /*rounds=*/48, /*seed=*/0xA008, &fc));
+}
+
+// ------------------------------------------- lower-bound constructions
+
+std::string runLowerBoundReference(std::unique_ptr<sim::Adversary> adversary,
+                                   sim::Round rounds, std::uint64_t seed) {
+  proto::RandomBabblerFactory babbler(24);
+  return runCanonical(babbler, std::move(adversary), rounds, seed);
+}
+
+TEST(GoldenCorpus, GammaCFloodNetworkReferenceRun) {
+  util::Rng rng(31);
+  const cc::Instance inst = cc::randomInstance(2, 9, rng, /*force=*/1);
+  const lb::CFloodNetwork network(inst);
+  expectGolden("gamma_cflood_network",
+               runLowerBoundReference(network.referenceAdversary(),
+                                      network.horizon(), /*seed=*/0xB001));
+}
+
+TEST(GoldenCorpus, LambdaConsensusNetworkDisj1ReferenceRun) {
+  util::Rng rng(33);
+  const cc::Instance inst = cc::randomInstance(2, 9, rng, /*force=*/1);
+  const lb::ConsensusNetwork network(inst);
+  expectGolden("lambda_consensus_network_disj1",
+               runLowerBoundReference(network.referenceAdversary(),
+                                      network.horizon(), /*seed=*/0xB002));
+}
+
+TEST(GoldenCorpus, UpsilonConsensusNetworkDisj0ReferenceRun) {
+  util::Rng rng(35);
+  const cc::Instance inst = cc::randomInstance(2, 9, rng, /*force=*/0);
+  const lb::ConsensusNetwork network(inst);
+  expectGolden("upsilon_consensus_network_disj0",
+               runLowerBoundReference(network.referenceAdversary(),
+                                      network.horizon(), /*seed=*/0xB003));
+}
+
+}  // namespace
+}  // namespace dynet

@@ -1,0 +1,159 @@
+// Fixture-driven coverage for tools/dynet_stats (summary tables,
+// histogram percentile math, and the two-run diff mode).
+//
+// The tool is exercised as a subprocess — the same way users run it — on
+// metrics.json fixtures generated through obs::MetricsRegistry::writeJson,
+// so the fixtures carry the real schema (and drift in the schema breaks
+// this test, not just the tool).  Percentile expectations are
+// hand-computed literals from the linear-interpolation formula, NOT
+// round-tripped through the library, so a math regression in either the
+// tool or obs::Histogram::percentileEstimate is caught.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+#ifndef DYNET_TOOLS_DIR
+#error "DYNET_TOOLS_DIR must point at the build tree's tools directory"
+#endif
+
+namespace dynet {
+namespace {
+
+struct ToolRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+/// Runs dynet_stats with `args`, capturing output and exit code.
+ToolRun runStats(const std::string& args) {
+  const std::string cmd =
+      std::string(DYNET_TOOLS_DIR) + "/dynet_stats " + args + " 2>&1";
+  ToolRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return run;
+  }
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    run.output += buffer;
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string writeFixture(const std::string& name,
+                         const obs::MetricsRegistry& registry) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  registry.writeJson(out);
+  return path;
+}
+
+/// The summary fixture: one of each metric kind with hand-checkable
+/// statistics.
+std::string summaryFixture() {
+  obs::MetricsRegistry reg;
+  reg.counter("engine/messages_sent")->inc(1234);
+  reg.gauge("engine/rounds")->set(96.125);
+  obs::Series* series = reg.series("round/bits");
+  for (int i = 1; i <= 20; ++i) {
+    series->append(static_cast<double>(i));  // 1..20
+  }
+  obs::Histogram* h = reg.histogram("delivery/per_node", {10, 20, 30});
+  for (const double x : {4.0, 8.0, 12.0, 14.0, 16.0, 25.0}) {
+    h->observe(x);
+  }
+  return writeFixture("stats_summary.json", reg);
+}
+
+TEST(StatsTool, SummaryTables) {
+  const ToolRun run = runStats("--in " + summaryFixture());
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  // Counters print as integers, gauges with 3 decimals.
+  EXPECT_NE(run.output.find("engine/messages_sent"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("1234"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("96.125"), std::string::npos) << run.output;
+  // Series 1..20: count 20, mean 10.50, max 20.00.
+  EXPECT_NE(run.output.find("round/bits"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("10.50"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("20.00"), std::string::npos) << run.output;
+}
+
+TEST(StatsTool, HistogramPercentileInterpolation) {
+  // Samples {4, 8, 12, 14, 16, 25} against bounds {10, 20, 30}:
+  // buckets hold [2, 3, 1, 0] with min 4, max 25, sum 79.
+  //   p50: rank 3.0 -> bucket (10, 20], frac (3-2)/3  -> 10 + 10/3 = 13.33
+  //   p95: rank 5.7 -> bucket (20, 25], frac (5.7-5)/1 -> 20 + 3.5 = 23.50
+  //   p99: rank 5.94 -> same bucket, frac 0.94         -> 20 + 4.7 = 24.70
+  //   mean: 79 / 6 = 13.17
+  const ToolRun run = runStats("--in " + summaryFixture());
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("delivery/per_node"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("13.17"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("13.33"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("23.50"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("24.70"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("25.00"), std::string::npos) << run.output;
+}
+
+TEST(StatsTool, DiffModeShowsDeltasNewAndRemoved) {
+  obs::MetricsRegistry baseline;
+  baseline.counter("engine/messages_sent")->inc(100);
+  baseline.counter("engine/messages_dropped")->inc(7);  // removed in current
+  baseline.gauge("engine/rounds")->set(50);
+  const std::string base_path = writeFixture("stats_base.json", baseline);
+
+  obs::MetricsRegistry current;
+  current.counter("engine/messages_sent")->inc(140);
+  current.counter("engine/crashes")->inc(3);  // new in current
+  current.gauge("engine/rounds")->set(64);
+  const std::string cur_path = writeFixture("stats_cur.json", current);
+
+  const ToolRun run =
+      runStats("--in " + cur_path + " --baseline " + base_path);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  // 140 - 100 = 40 and 64 - 50 = 14, printed with 3 decimals.
+  EXPECT_NE(run.output.find("40.000"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("14.000"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("(new)"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("(removed)"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("engine/crashes"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("engine/messages_dropped"), std::string::npos)
+      << run.output;
+}
+
+TEST(StatsTool, MissingInputFlagExitsTwoWithUsage) {
+  const ToolRun run = runStats("");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("usage:"), std::string::npos) << run.output;
+}
+
+TEST(StatsTool, RejectsNonMetricsJson) {
+  const std::string path = ::testing::TempDir() + "stats_not_metrics.json";
+  {
+    std::ofstream out(path);
+    out << "{\"unrelated\": true}\n";
+  }
+  const ToolRun run = runStats("--in " + path);
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("not a dynet metrics.json"), std::string::npos)
+      << run.output;
+}
+
+TEST(StatsTool, RejectsMissingFile) {
+  const ToolRun run =
+      runStats("--in " + ::testing::TempDir() + "does_not_exist.json");
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("cannot open"), std::string::npos) << run.output;
+}
+
+}  // namespace
+}  // namespace dynet
