@@ -13,7 +13,9 @@ echo "=== release build ==="
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 echo "=== tests ==="
-ctest --test-dir build -j"$(nproc)" --output-on-failure
+# --timeout: a wedged test (e.g. a supervision bug leaving a worker
+# hanging) must fail the suite, not stall it forever.
+ctest --test-dir build -j"$(nproc)" --output-on-failure --timeout 300
 echo "=== benches (--quick smoke run, failures are fatal) ==="
 for b in build/bench/*; do
   echo "--- $b --quick"
@@ -38,9 +40,12 @@ build/bench/bench_sim_perf --quick \
   batch-vs-sequential arena-vs-heap delta-vs-rebuild \
   --json-out="$obs_dir/BENCH_sim_perf.json"
 
+echo "=== campaign kill-and-resume smoke ==="
+scripts/campaign_smoke.sh build/tools/dynet_cli
+
 echo "=== sanitizer build (ASan + UBSan) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DDYNET_SANITIZE=ON
 cmake --build build-asan -j"$(nproc)"
-ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
+ctest --test-dir build-asan -j"$(nproc)" --output-on-failure --timeout 600
 
 echo "ALL CHECKS PASSED"

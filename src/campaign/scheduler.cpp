@@ -1,0 +1,341 @@
+#include "campaign/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "campaign/shard_exec.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/subprocess.h"
+
+namespace dynet::campaign {
+
+namespace {
+
+/// One attempt's outcome, feeding the retry/quarantine ladder.
+struct Attempt {
+  bool ok = false;
+  std::string result_json;  // valid when ok
+  std::string error;        // human-readable strike reason when !ok
+};
+
+/// In-process sabotage: the hooks break the WORKER in subprocess mode; with
+/// no process boundary the closest faithful mapping is a thrown attempt
+/// failure ("hang" cannot be killed inside our own process).
+void applySabotageInProcess(const ShardConfig& shard) {
+  const std::string& mode = shard.fault.sabotage;
+  if (mode.empty()) {
+    return;
+  }
+  if (mode == "crash_once") {
+    namespace fs = std::filesystem;
+    DYNET_CHECK(!shard.fault.sabotage_marker.empty())
+        << "crash_once sabotage needs a sabotage_marker path";
+    if (fs::exists(shard.fault.sabotage_marker)) {
+      return;  // already struck once; behave from now on
+    }
+    std::ofstream(shard.fault.sabotage_marker) << "struck\n";
+    DYNET_CHECK(false) << "sabotage: crash_once (first strike)";
+  }
+  DYNET_CHECK(false) << "sabotage: " << mode;
+}
+
+Attempt attemptInProcess(const ShardConfig& shard) {
+  Attempt a;
+  try {
+    applySabotageInProcess(shard);
+    a.result_json = runShard(shard).toJson();
+    a.ok = true;
+  } catch (const util::CheckError& e) {
+    a.error = e.what();
+  }
+  return a;
+}
+
+/// One persistent worker per supervisor thread, respawned on demand.
+class WorkerSlot {
+ public:
+  explicit WorkerSlot(std::string cmd) : cmd_(std::move(cmd)) {}
+
+  Attempt run(const ShardConfig& shard, int timeout_ms) {
+    Attempt a;
+    if (!worker_) {
+      worker_.emplace(util::Subprocess::spawn({cmd_, "--worker"}));
+    }
+    if (!worker_->writeLine(shard.canonicalJson())) {
+      // Stdin pipe broken: the worker died between shards.  Report why and
+      // let the retry ladder respawn on the next call.
+      a.error = "worker died before accepting shard (exit status " +
+                std::to_string(worker_->wait()) + ")";
+      worker_.reset();
+      return a;
+    }
+    std::string line;
+    switch (worker_->readLine(&line, timeout_ms)) {
+      case util::Subprocess::ReadStatus::kLine:
+        a.ok = true;
+        a.result_json = std::move(line);
+        return a;
+      case util::Subprocess::ReadStatus::kTimeout: {
+        worker_->kill();
+        a.error = "timeout after " + std::to_string(timeout_ms) +
+                  "ms (worker killed)";
+        worker_.reset();
+        return a;
+      }
+      case util::Subprocess::ReadStatus::kEof: {
+        const int status = worker_->wait();
+        std::ostringstream msg;
+        if (status < 0) {
+          msg << "worker killed by signal " << -status;
+        } else {
+          msg << "worker exited with status " << status;
+        }
+        msg << " before producing a result";
+        a.error = msg.str();
+        worker_.reset();
+        return a;
+      }
+    }
+    a.error = "unreachable read status";
+    return a;
+  }
+
+ private:
+  std::string cmd_;
+  std::optional<util::Subprocess> worker_;
+};
+
+/// Parses + sanity-checks a worker/in-process result line against the shard
+/// it was supposed to answer for.  A mismatched hash means the worker went
+/// off the rails — treat it as a failed attempt, not a committed lie.
+bool validateResult(const ShardConfig& shard, const std::string& json_line,
+                    std::string* error) {
+  try {
+    const ShardResult result = ShardResult::parseJson(json_line);
+    if (result.hash != shard.hash()) {
+      *error = "result hash " + result.hash + " does not match shard " +
+               shard.hash();
+      return false;
+    }
+    if (result.trials != shard.trials) {
+      *error = "result carries " + std::to_string(result.trials) +
+               " trials, shard wants " + std::to_string(shard.trials);
+      return false;
+    }
+    return true;
+  } catch (const util::CheckError& e) {
+    *error = std::string("malformed result line: ") + e.what();
+    return false;
+  }
+}
+
+struct SharedState {
+  const std::vector<ShardConfig>* shards = nullptr;
+  std::vector<std::size_t> pending;  // indices into *shards, claim order
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> committed_new{0};
+  std::atomic<std::size_t> quarantined{0};
+  std::atomic<std::size_t> failed_attempts{0};
+  std::atomic<bool> stop{false};
+  std::mutex io_mutex;  // serializes stderr progress lines
+};
+
+void supervise(SharedState& state, const CampaignSpec& spec,
+               const CampaignOptions& options, CheckpointStore& store) {
+  std::optional<WorkerSlot> slot;
+  if (options.subprocess) {
+    slot.emplace(options.worker_cmd);
+  }
+  for (;;) {
+    if (state.stop.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const std::size_t i =
+        state.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.pending.size()) {
+      return;
+    }
+    const ShardConfig& shard = (*state.shards)[state.pending[i]];
+    const std::string hash = shard.hash();
+    const RetryPolicy& retry = spec.retry;
+    std::string last_error;
+    bool committed = false;
+    for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+      if (attempt > 1) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(retry.backoffDelayMs(attempt - 1)));
+      }
+      Attempt a = slot ? slot->run(shard, retry.timeout_ms)
+                       : attemptInProcess(shard);
+      if (a.ok && !validateResult(shard, a.result_json, &a.error)) {
+        a.ok = false;
+      }
+      if (a.ok) {
+        store.commitResult(hash, a.result_json);
+        state.committed_new.fetch_add(1, std::memory_order_relaxed);
+        committed = true;
+        if (options.verbose) {
+          std::lock_guard<std::mutex> lock(state.io_mutex);
+          std::cerr << "[campaign] " << hash << " ok (" << shard.protocol
+                    << "/" << shard.adversary << " n=" << shard.n
+                    << ", attempt " << attempt << ")\n";
+        }
+        break;
+      }
+      state.failed_attempts.fetch_add(1, std::memory_order_relaxed);
+      last_error = a.error;
+      {
+        std::lock_guard<std::mutex> lock(state.io_mutex);
+        std::cerr << "[campaign] " << hash << " attempt " << attempt << "/"
+                  << retry.max_attempts << " failed: " << a.error << "\n";
+      }
+    }
+    if (!committed) {
+      store.quarantine(hash, last_error, retry.max_attempts);
+      state.quarantined.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(state.io_mutex);
+      std::cerr << "[campaign] " << hash << " QUARANTINED after "
+                << retry.max_attempts << " attempts: " << last_error << "\n";
+    }
+    if (options.shard_limit > 0 &&
+        state.committed_new.load(std::memory_order_relaxed) >=
+            static_cast<std::size_t>(options.shard_limit)) {
+      state.stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+CampaignOutcome runCampaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+  DYNET_CHECK(options.workers >= 1) << "campaign needs at least one worker";
+  DYNET_CHECK(!options.subprocess || !options.worker_cmd.empty())
+      << "subprocess mode needs a worker command";
+  CheckpointStore store(options.checkpoint_dir);
+
+  const std::vector<ShardConfig> shards = spec.expandShards();
+
+  // Guard the directory against a different spec: shard hashes are content
+  // addresses, so resuming a foreign checkpoint would silently merge
+  // results from another experiment.  The canonical shard-hash list is the
+  // identity we compare.
+  std::ostringstream spec_id;
+  spec_id << "{\"dynet_campaign\":1,\"name\":\"" << spec.name
+          << "\",\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    spec_id << (i ? "," : "") << "\"" << shards[i].hash() << "\"";
+  }
+  spec_id << "]}\n";
+  if (const std::optional<std::string> prior = store.readFile("spec.json")) {
+    DYNET_CHECK(*prior == spec_id.str())
+        << "checkpoint dir " << store.dir()
+        << " belongs to a different campaign spec; refusing to mix results "
+        << "(use a fresh directory)";
+  } else {
+    store.writeFile("spec.json", spec_id.str());
+  }
+
+  CampaignOutcome outcome;
+  outcome.shards_total = shards.size();
+
+  SharedState state;
+  state.shards = &shards;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const std::string hash = shards[i].hash();
+    if (store.hasResult(hash)) {
+      ++outcome.completed_prior;
+      continue;
+    }
+    if (store.isQuarantined(hash)) {
+      if (options.retry_quarantined) {
+        store.clearQuarantine(hash);
+      } else {
+        ++outcome.quarantined;
+        continue;
+      }
+    }
+    state.pending.push_back(i);
+  }
+
+  if (!state.pending.empty()) {
+    const unsigned worker_count = std::min<unsigned>(
+        options.workers, static_cast<unsigned>(state.pending.size()));
+    std::vector<std::thread> threads;
+    threads.reserve(worker_count);
+    for (unsigned w = 0; w < worker_count; ++w) {
+      threads.emplace_back(
+          [&] { supervise(state, spec, options, store); });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  outcome.completed_new = state.committed_new.load();
+  outcome.quarantined += state.quarantined.load();
+  outcome.failed_attempts = state.failed_attempts.load();
+  outcome.stopped_early =
+      state.stop.load() && outcome.completed() < outcome.shards_total;
+
+  std::ostringstream report;
+  writeReport(spec, store, report);
+  store.writeFile("report.json", report.str());
+  return outcome;
+}
+
+ReportInfo writeReport(const CampaignSpec& spec, const CheckpointStore& store,
+                       std::ostream& out) {
+  ReportInfo info;
+  obs::MetricsRegistry registry;
+  // Merge in expansion order: the report's bytes depend only on which
+  // shards have committed results, never on execution order or worker
+  // count — the kill-and-resume byte-identity guarantee lives here.
+  const std::vector<ShardConfig> shards = spec.expandShards();
+  info.shards_total = shards.size();
+  for (const ShardConfig& shard : shards) {
+    const std::string hash = shard.hash();
+    if (store.isQuarantined(hash)) {
+      ++info.shards_quarantined;
+    }
+    const std::optional<std::string> text = store.loadResult(hash);
+    if (!text) {
+      continue;
+    }
+    const ShardResult result = ShardResult::parseJson(*text);
+    ++info.shards_covered;
+    info.trials += static_cast<std::size_t>(result.trials);
+    for (const auto& [name, samples] : result.metrics) {
+      obs::Series* series = registry.series("trial/" + name);
+      for (const double v : samples) {
+        series->append(v);
+      }
+    }
+  }
+  registry.counter("campaign/shards_total")->inc(info.shards_total);
+  registry.counter("campaign/shards_completed")->inc(info.shards_covered);
+  registry.counter("campaign/shards_quarantined")
+      ->inc(info.shards_quarantined);
+  registry.counter("campaign/trials")->inc(info.trials);
+  registry.gauge("campaign/coverage")
+      ->set(info.shards_total == 0
+                ? 1.0
+                : static_cast<double>(info.shards_covered) /
+                      static_cast<double>(info.shards_total));
+  registry.writeJson(out);
+  return info;
+}
+
+}  // namespace dynet::campaign

@@ -1,0 +1,320 @@
+#include "campaign/spec.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/shard_exec.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dynet::campaign {
+
+namespace {
+
+void writeNumber(std::ostream& out, double v) { obs::writeJsonNumber(out, v); }
+
+void writeFault(std::ostream& out, const ShardFault& f) {
+  const faults::FaultConfig& fc = f.config;
+  out << "{\"name\":\"" << f.name << "\",\"crash_fraction\":";
+  writeNumber(out, fc.crash_fraction);
+  out << ",\"crash_window\":" << fc.crash_window
+      << ",\"restart\":" << (fc.restart ? "true" : "false")
+      << ",\"restart_downtime\":" << fc.restart_downtime << ",\"drop_prob\":";
+  writeNumber(out, fc.drop_prob);
+  out << ",\"corrupt_prob\":";
+  writeNumber(out, fc.corrupt_prob);
+  out << ",\"deliver_corrupted\":" << (fc.deliver_corrupted ? "true" : "false")
+      << ",\"sabotage\":\"" << f.sabotage << "\",\"sabotage_marker\":\""
+      << f.sabotage_marker << "\"}";
+}
+
+/// Fails unless every key of `json` appears in `allowed` — typo'd spec
+/// keys must not silently become defaults (the util::Cli convention).
+void rejectUnknownKeys(const obs::Json& json,
+                       const std::vector<std::string>& allowed,
+                       const std::string& what) {
+  for (const auto& [key, value] : json.members()) {
+    DYNET_CHECK(std::find(allowed.begin(), allowed.end(), key) !=
+                allowed.end())
+        << what << ": unknown key '" << key << "'";
+  }
+}
+
+double numberOr(const obs::Json& json, const std::string& key, double def) {
+  return json.has(key) ? json.at(key).number() : def;
+}
+
+std::string stringOr(const obs::Json& json, const std::string& key,
+                     const std::string& def) {
+  return json.has(key) ? json.at(key).str() : def;
+}
+
+bool boolOr(const obs::Json& json, const std::string& key, bool def) {
+  return json.has(key) ? json.at(key).boolean() : def;
+}
+
+ShardFault parseFault(const obs::Json& json) {
+  rejectUnknownKeys(json,
+                    {"name", "crash_fraction", "crash_window", "restart",
+                     "restart_downtime", "drop_prob", "corrupt_prob",
+                     "deliver_corrupted", "sabotage", "sabotage_marker"},
+                    "fault");
+  ShardFault f;
+  f.name = stringOr(json, "name", "none");
+  f.config.crash_fraction = numberOr(json, "crash_fraction", 0);
+  f.config.crash_window =
+      static_cast<sim::Round>(numberOr(json, "crash_window", 64));
+  f.config.restart = boolOr(json, "restart", false);
+  f.config.restart_downtime =
+      static_cast<sim::Round>(numberOr(json, "restart_downtime", 32));
+  f.config.drop_prob = numberOr(json, "drop_prob", 0);
+  f.config.corrupt_prob = numberOr(json, "corrupt_prob", 0);
+  f.config.deliver_corrupted = boolOr(json, "deliver_corrupted", false);
+  f.sabotage = stringOr(json, "sabotage", "");
+  f.sabotage_marker = stringOr(json, "sabotage_marker", "");
+  DYNET_CHECK(f.sabotage.empty() || f.sabotage == "crash" ||
+              f.sabotage == "hang" || f.sabotage == "crash_once")
+      << "fault '" << f.name << "': unknown sabotage mode '" << f.sabotage
+      << "' (expected crash, hang, or crash_once)";
+  return f;
+}
+
+void validateZooNames(const std::vector<std::string>& names,
+                      const std::vector<std::string>& valid,
+                      const std::string& kind) {
+  for (const std::string& name : names) {
+    DYNET_CHECK(std::find(valid.begin(), valid.end(), name) != valid.end())
+        << "unknown " << kind << " '" << name << "' in campaign spec";
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hashHex(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+int RetryPolicy::backoffDelayMs(int failed_attempts) const {
+  DYNET_CHECK(failed_attempts >= 1) << "backoff before any failure";
+  double delay = backoff_ms;
+  for (int i = 1; i < failed_attempts && delay < backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  return static_cast<int>(std::min<double>(delay, backoff_max_ms));
+}
+
+std::string ShardConfig::canonicalJson() const {
+  std::ostringstream out;
+  // seed_base is a full 64-bit hashCombine value; as a bare JSON number it
+  // would round-trip through the parser's double and lose low bits, so the
+  // canonical form carries it as a hex string.
+  out << "{\"protocol\":\"" << protocol << "\",\"adversary\":\"" << adversary
+      << "\",\"n\":" << n << ",\"trials\":" << trials << ",\"seed_base\":\""
+      << hashHex(seed_base) << "\",\"max_rounds\":" << max_rounds
+      << ",\"diameter\":" << diameter << ",\"k\":" << k << ",\"p\":";
+  writeNumber(out, p);
+  out << ",\"interval\":" << interval << ",\"churn\":" << churn
+      << ",\"n_estimate\":";
+  writeNumber(out, n_estimate);
+  out << ",\"c\":";
+  writeNumber(out, c);
+  out << ",\"fault\":";
+  writeFault(out, fault);
+  out << "}";
+  return out.str();
+}
+
+std::string ShardConfig::hash() const {
+  return hashHex(fnv1a64(canonicalJson()));
+}
+
+ShardConfig parseShardConfig(const obs::Json& json) {
+  rejectUnknownKeys(json,
+                    {"protocol", "adversary", "n", "trials", "seed_base",
+                     "max_rounds", "diameter", "k", "p", "interval", "churn",
+                     "n_estimate", "c", "fault"},
+                    "shard config");
+  ShardConfig shard;
+  shard.protocol = json.at("protocol").str();
+  shard.adversary = json.at("adversary").str();
+  validateZooNames({shard.protocol}, protocolNames(), "protocol");
+  validateZooNames({shard.adversary}, adversaryNames(), "adversary");
+  shard.n = static_cast<sim::NodeId>(json.at("n").number());
+  shard.trials = static_cast<int>(numberOr(json, "trials", 1));
+  if (json.has("seed_base") && json.at("seed_base").isString()) {
+    // Canonical form: 16 hex digits (see canonicalJson).
+    const std::string& hex = json.at("seed_base").str();
+    DYNET_CHECK(!hex.empty() && hex.size() <= 16 &&
+                hex.find_first_not_of("0123456789abcdef") == std::string::npos)
+        << "shard seed_base '" << hex << "' is not a hex seed";
+    shard.seed_base = std::stoull(hex, nullptr, 16);
+  } else {
+    // Hand-written specs may use a small decimal literal.
+    shard.seed_base = static_cast<std::uint64_t>(numberOr(json, "seed_base", 1));
+  }
+  shard.max_rounds =
+      static_cast<sim::Round>(numberOr(json, "max_rounds", 200'000));
+  shard.diameter = static_cast<int>(numberOr(json, "diameter", 8));
+  shard.k = static_cast<int>(numberOr(json, "k", 0));
+  shard.p = numberOr(json, "p", 0);
+  shard.interval = static_cast<int>(numberOr(json, "interval", 8));
+  shard.churn = static_cast<int>(numberOr(json, "churn", 2));
+  shard.n_estimate = numberOr(json, "n_estimate", 0);
+  shard.c = numberOr(json, "c", 0.25);
+  if (json.has("fault")) {
+    shard.fault = parseFault(json.at("fault"));
+  }
+  DYNET_CHECK(shard.n >= 2) << "shard n=" << shard.n << " (need >= 2 nodes)";
+  DYNET_CHECK(shard.trials >= 1) << "shard trials=" << shard.trials;
+  DYNET_CHECK(shard.max_rounds >= 1)
+      << "shard max_rounds=" << shard.max_rounds;
+  return shard;
+}
+
+CampaignSpec CampaignSpec::parse(const std::string& json_text) {
+  obs::Json root;
+  try {
+    root = obs::Json::parse(json_text);
+  } catch (const util::CheckError& e) {
+    DYNET_CHECK(false) << "malformed campaign spec: " << e.what();
+  }
+  DYNET_CHECK(root.isObject()) << "campaign spec must be a JSON object";
+  rejectUnknownKeys(root,
+                    {"name", "protocols", "adversaries", "nodes", "faults",
+                     "seeds", "max_rounds", "diameter", "k", "p", "interval",
+                     "churn", "n_estimate", "c", "retry"},
+                    "campaign spec");
+  CampaignSpec spec;
+  spec.name = stringOr(root, "name", "campaign");
+  for (const obs::Json& v : root.at("protocols").items()) {
+    spec.protocols.push_back(v.str());
+  }
+  for (const obs::Json& v : root.at("adversaries").items()) {
+    spec.adversaries.push_back(v.str());
+  }
+  for (const obs::Json& v : root.at("nodes").items()) {
+    spec.nodes.push_back(static_cast<sim::NodeId>(v.number()));
+  }
+  DYNET_CHECK(!spec.protocols.empty() && !spec.adversaries.empty() &&
+              !spec.nodes.empty())
+      << "campaign spec needs non-empty protocols, adversaries, and nodes";
+  validateZooNames(spec.protocols, protocolNames(), "protocol");
+  validateZooNames(spec.adversaries, adversaryNames(), "adversary");
+  if (root.has("faults")) {
+    for (const obs::Json& v : root.at("faults").items()) {
+      spec.faults.push_back(parseFault(v));
+    }
+  }
+  if (spec.faults.empty()) {
+    spec.faults.push_back(ShardFault{});  // the clean substrate
+  }
+
+  const obs::Json& seeds = root.at("seeds");
+  rejectUnknownKeys(seeds, {"base", "count", "per_shard"}, "seeds");
+  spec.seed_base = static_cast<std::uint64_t>(numberOr(seeds, "base", 1));
+  spec.seed_count = static_cast<int>(numberOr(seeds, "count", 1));
+  spec.seeds_per_shard =
+      static_cast<int>(numberOr(seeds, "per_shard", spec.seed_count));
+  DYNET_CHECK(spec.seed_count >= 1)
+      << "seeds.count=" << spec.seed_count << " (need >= 1)";
+  DYNET_CHECK(spec.seeds_per_shard >= 1)
+      << "seeds.per_shard=" << spec.seeds_per_shard << " (need >= 1)";
+
+  spec.max_rounds = static_cast<sim::Round>(numberOr(root, "max_rounds", 200'000));
+  spec.diameter = static_cast<int>(numberOr(root, "diameter", 8));
+  spec.k = static_cast<int>(numberOr(root, "k", 0));
+  spec.p = numberOr(root, "p", 0);
+  spec.interval = static_cast<int>(numberOr(root, "interval", 8));
+  spec.churn = static_cast<int>(numberOr(root, "churn", 2));
+  spec.n_estimate = numberOr(root, "n_estimate", 0);
+  spec.c = numberOr(root, "c", 0.25);
+
+  if (root.has("retry")) {
+    const obs::Json& retry = root.at("retry");
+    rejectUnknownKeys(
+        retry, {"max_attempts", "timeout_ms", "backoff_ms", "backoff_max_ms"},
+        "retry");
+    spec.retry.max_attempts = static_cast<int>(
+        numberOr(retry, "max_attempts", spec.retry.max_attempts));
+    spec.retry.timeout_ms =
+        static_cast<int>(numberOr(retry, "timeout_ms", spec.retry.timeout_ms));
+    spec.retry.backoff_ms =
+        static_cast<int>(numberOr(retry, "backoff_ms", spec.retry.backoff_ms));
+    spec.retry.backoff_max_ms = static_cast<int>(
+        numberOr(retry, "backoff_max_ms", spec.retry.backoff_max_ms));
+    DYNET_CHECK(spec.retry.max_attempts >= 1)
+        << "retry.max_attempts=" << spec.retry.max_attempts;
+    DYNET_CHECK(spec.retry.timeout_ms >= 1)
+        << "retry.timeout_ms=" << spec.retry.timeout_ms;
+    DYNET_CHECK(spec.retry.backoff_ms >= 0 && spec.retry.backoff_max_ms >= 0)
+        << "retry backoff must be non-negative";
+  }
+  return spec;
+}
+
+CampaignSpec CampaignSpec::load(const std::string& path) {
+  std::ifstream in(path);
+  DYNET_CHECK(in.good()) << "cannot open campaign spec " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::vector<ShardConfig> CampaignSpec::expandShards() const {
+  // Programmatically built specs may leave `faults` empty; that means the
+  // same thing as the parser's default — one clean (zero-fault) entry.
+  const std::vector<ShardFault> fault_grid =
+      faults.empty() ? std::vector<ShardFault>{ShardFault{}} : faults;
+  std::vector<ShardConfig> shards;
+  for (const std::string& protocol : protocols) {
+    for (const std::string& adversary : adversaries) {
+      for (const sim::NodeId n : nodes) {
+        for (const ShardFault& fault : fault_grid) {
+          for (int begin = 0; begin < seed_count; begin += seeds_per_shard) {
+            ShardConfig shard;
+            shard.protocol = protocol;
+            shard.adversary = adversary;
+            shard.n = n;
+            shard.trials = std::min(seeds_per_shard, seed_count - begin);
+            // Derived, not sequential: shards of the same cell get distinct
+            // base seeds, and the block is reproducible from (spec seed,
+            // block start) alone.
+            shard.seed_base = util::hashCombine(
+                seed_base, static_cast<std::uint64_t>(begin));
+            shard.max_rounds = max_rounds;
+            shard.diameter = diameter;
+            shard.k = k;
+            shard.p = p;
+            shard.interval = interval;
+            shard.churn = churn;
+            shard.n_estimate = n_estimate;
+            shard.c = c;
+            shard.fault = fault;
+            shards.push_back(std::move(shard));
+          }
+        }
+      }
+    }
+  }
+  return shards;
+}
+
+}  // namespace dynet::campaign

@@ -1,0 +1,70 @@
+#include "campaign/worker.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "campaign/shard_exec.h"
+#include "campaign/spec.h"
+#include "obs/json.h"
+
+namespace dynet::campaign {
+
+namespace {
+
+/// Worker-side sabotage: test hooks that break THIS process so the
+/// supervisor's crash/timeout handling can be exercised for real.
+/// _exit (not exit) so death looks like the abrupt crash it models.
+void applySabotage(const ShardConfig& shard) {
+  const std::string& mode = shard.fault.sabotage;
+  if (mode.empty()) {
+    return;
+  }
+  if (mode == "crash") {
+    ::_exit(3);
+  }
+  if (mode == "hang") {
+    for (;;) {  // wedge until the supervisor's timeout SIGKILLs us
+      std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+  }
+  if (mode == "crash_once") {
+    namespace fs = std::filesystem;
+    if (!shard.fault.sabotage_marker.empty() &&
+        !fs::exists(shard.fault.sabotage_marker)) {
+      std::ofstream(shard.fault.sabotage_marker) << "struck\n";
+      ::_exit(3);
+    }
+    return;  // marker present: behave this time (the retry that succeeds)
+  }
+  // Unknown modes are rejected at spec parse time; reaching here means the
+  // parent sent a config this binary doesn't understand — fail loudly.
+  ::_exit(4);
+}
+
+}  // namespace
+
+int workerMain(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    // Parse failures and simulation CheckErrors escape to the caller:
+    // exit-with-diagnostic is the worker's only error channel, and the
+    // supervisor turns it into a strike.
+    const ShardConfig shard = parseShardConfig(obs::Json::parse(line));
+    applySabotage(shard);
+    const ShardResult result = runShard(shard);
+    out << result.toJson() << "\n" << std::flush;
+  }
+  return 0;
+}
+
+}  // namespace dynet::campaign

@@ -38,7 +38,9 @@ class JsonParser {
 
   char peek() {
     skipWhitespace();
-    DYNET_CHECK(pos_ < text_.size()) << "unexpected end of JSON";
+    DYNET_CHECK(pos_ < text_.size())
+        << "unexpected end of JSON at offset " << pos_
+        << " (truncated input?)";
     return text_[pos_];
   }
 
@@ -132,7 +134,9 @@ class JsonParser {
     expect('"');
     std::string out;
     while (true) {
-      DYNET_CHECK(pos_ < text_.size()) << "unterminated string";
+      DYNET_CHECK(pos_ < text_.size())
+          << "unterminated string at offset " << pos_
+          << " (truncated input?)";
       const char c = text_[pos_++];
       if (c == '"') {
         return out;
@@ -141,7 +145,8 @@ class JsonParser {
         out.push_back(c);
         continue;
       }
-      DYNET_CHECK(pos_ < text_.size()) << "unterminated escape";
+      DYNET_CHECK(pos_ < text_.size())
+          << "unterminated escape at offset " << pos_;
       const char esc = text_[pos_++];
       switch (esc) {
         case '"':

@@ -69,7 +69,8 @@ void BatchRunner::releaseWorkspace(EngineWorkspace* ws) {
 }
 
 TrialSummary BatchRunner::run(int trials, std::uint64_t base_seed,
-                              const BatchTrialFn& body) {
+                              const BatchTrialFn& body,
+                              TrialSamples* samples) {
   DYNET_CHECK(trials >= 1) << "trials=" << trials;
   const auto n = static_cast<std::size_t>(trials);
   {
@@ -108,10 +109,16 @@ TrialSummary BatchRunner::run(int trials, std::uint64_t base_seed,
   // same sequence the legacy per-trial map path produced, so summaries are
   // bit-for-bit comparable across both runners and any thread count.
   TrialSummary summary;
+  if (samples != nullptr) {
+    samples->metrics.clear();
+  }
   for (std::size_t t = 0; t < n; ++t) {
     for (const auto& column : columns_) {
       if (column->present[t] != 0) {
         summary.metrics[column->name].add(column->values[t]);
+        if (samples != nullptr) {
+          samples->metrics[column->name].push_back(column->values[t]);
+        }
       }
     }
   }

@@ -80,6 +80,14 @@ struct BatchOptions {
   unsigned threads = 0;
 };
 
+/// Raw per-trial samples of one run, in trial order (trials that did not
+/// set a metric contribute no sample for it — matching how TrialSummary
+/// merges).  Campaign shards serialize these so a merged report can redo
+/// percentile math over the union of shards instead of averaging averages.
+struct TrialSamples {
+  std::map<std::string, std::vector<double>> metrics;
+};
+
 class BatchRunner {
  public:
   explicit BatchRunner(BatchOptions options = {});
@@ -94,9 +102,11 @@ class BatchRunner {
 
   /// Runs body(seed_i, ws, rec) for `trials` seeds derived from base_seed
   /// and merges the recorded metrics in trial order.  A runner may be
-  /// reused for several runs; interned MetricIds stay valid.
+  /// reused for several runs; interned MetricIds stay valid.  When
+  /// `samples` is non-null it receives the raw per-trial values behind the
+  /// summary (same trial order, so identical across thread counts).
   TrialSummary run(int trials, std::uint64_t base_seed,
-                   const BatchTrialFn& body);
+                   const BatchTrialFn& body, TrialSamples* samples = nullptr);
 
  private:
   friend class TrialRecorder;

@@ -1,0 +1,36 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace dynet::util {
+
+std::int64_t parseEnvInt(const char* name, const char* value,
+                         std::int64_t fallback, std::int64_t min,
+                         std::int64_t max) {
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  // strtoll would skip leading whitespace; "\t4" is garbage here.
+  const bool leading_ok =
+      (*value >= '0' && *value <= '9') || *value == '-' || *value == '+';
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = leading_ok ? std::strtoll(value, &end, 10) : 0;
+  DYNET_CHECK(leading_ok && end != value && *end == '\0' && errno != ERANGE)
+      << name << "='" << value << "' is not a decimal integer (expected "
+      << min << ".." << max << ", or unset for the default)";
+  DYNET_CHECK(parsed >= min && parsed <= max)
+      << name << "=" << parsed << " is out of range (expected " << min << ".."
+      << max << ", or unset for the default)";
+  return static_cast<std::int64_t>(parsed);
+}
+
+std::int64_t envInt(const char* name, std::int64_t fallback, std::int64_t min,
+                    std::int64_t max) {
+  return parseEnvInt(name, std::getenv(name), fallback, min, max);
+}
+
+}  // namespace dynet::util

@@ -1,0 +1,30 @@
+// Loud environment-variable parsing.
+//
+// Knobs like DYNET_THREADS and DYNET_FUZZ_CONFIGS used to be parsed with
+// "anything malformed silently selects the default" semantics, which turns
+// a typo'd `DYNET_THREADS=1O` CI line into a silent single-thread run.
+// parseEnvInt inverts that contract: an UNSET (or empty) variable selects
+// the default, but a set-and-malformed one — garbage, trailing junk,
+// overflow, out of range — throws util::CheckError naming the variable,
+// the offending value, and the accepted range.
+#pragma once
+
+#include <cstdint>
+
+namespace dynet::util {
+
+/// Parses `value` (the raw getenv result for variable `name`) as a decimal
+/// integer in [min, max].  Returns `fallback` when value is null or empty
+/// (variable unset).  Throws util::CheckError for anything else that is not
+/// a clean in-range integer; the message names `name`, the bad value, and
+/// the accepted range.  Pure — pass the value explicitly so tests can cover
+/// the parsing without mutating the process environment.
+std::int64_t parseEnvInt(const char* name, const char* value,
+                         std::int64_t fallback, std::int64_t min,
+                         std::int64_t max);
+
+/// getenv(name) + parseEnvInt.
+std::int64_t envInt(const char* name, std::int64_t fallback, std::int64_t min,
+                    std::int64_t max);
+
+}  // namespace dynet::util

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/env.h"
+
 namespace dynet::util {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -94,15 +96,8 @@ void ThreadPool::parallelFor(std::size_t n,
 }
 
 unsigned parseThreadCount(const char* value) {
-  if (value == nullptr || *value == '\0') {
-    return 0;
-  }
-  char* end = nullptr;
-  const unsigned long parsed = std::strtoul(value, &end, 10);
-  if (end == value || *end != '\0' || parsed == 0 || parsed > 4096) {
-    return 0;  // malformed or out of range: fall back to the default
-  }
-  return static_cast<unsigned>(parsed);
+  return static_cast<unsigned>(
+      parseEnvInt("DYNET_THREADS", value, /*fallback=*/0, 1, 4096));
 }
 
 ThreadPool& ThreadPool::shared() {

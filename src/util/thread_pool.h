@@ -62,11 +62,13 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Parses a DYNET_THREADS-style override: returns the value for a positive
-/// decimal integer up to 4096, or 0 — "use the default" — for null, empty,
-/// non-numeric, zero, or out-of-range input.  Pure; exposed
-/// separately from ThreadPool::shared() so tests can cover the parsing
-/// without mutating the process environment.
+/// Parses the DYNET_THREADS override: returns the value for a decimal
+/// integer in [1, 4096], or 0 — "use the default" — for null/empty (the
+/// variable is unset).  Anything else (garbage, zero, overflow) throws
+/// util::CheckError with a message naming the variable — a typo'd override
+/// must not silently select hardware_concurrency (util::parseEnvInt).
+/// Pure; exposed separately from ThreadPool::shared() so tests can cover
+/// the parsing without mutating the process environment.
 unsigned parseThreadCount(const char* value);
 
 }  // namespace dynet::util

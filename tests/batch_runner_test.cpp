@@ -28,6 +28,7 @@
 #include "sim/engine.h"
 #include "sim/runner.h"
 #include "sim/trace.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -314,14 +315,28 @@ TEST(ParseThreadCount, AcceptsPositiveIntegers) {
   EXPECT_EQ(util::parseThreadCount("96"), 96u);
 }
 
-TEST(ParseThreadCount, FallsBackToDefaultOnBadInput) {
+TEST(ParseThreadCount, UnsetSelectsDefault) {
   EXPECT_EQ(util::parseThreadCount(nullptr), 0u);
   EXPECT_EQ(util::parseThreadCount(""), 0u);
-  EXPECT_EQ(util::parseThreadCount("abc"), 0u);
-  EXPECT_EQ(util::parseThreadCount("4x"), 0u);
-  EXPECT_EQ(util::parseThreadCount("0"), 0u);
-  EXPECT_EQ(util::parseThreadCount("-2"), 0u);
-  EXPECT_EQ(util::parseThreadCount("123456789"), 0u);  // out of range
+}
+
+TEST(ParseThreadCount, RejectsGarbageLoudly) {
+  // A SET-but-malformed override must fail, not silently select the
+  // hardware default (util::parseEnvInt contract).
+  EXPECT_THROW(util::parseThreadCount("abc"), util::CheckError);
+  EXPECT_THROW(util::parseThreadCount("4x"), util::CheckError);
+  EXPECT_THROW(util::parseThreadCount("0"), util::CheckError);
+  EXPECT_THROW(util::parseThreadCount("-2"), util::CheckError);
+  EXPECT_THROW(util::parseThreadCount("123456789"), util::CheckError);
+  EXPECT_THROW(util::parseThreadCount("99999999999999999999"),
+               util::CheckError);  // overflow
+  try {
+    util::parseThreadCount("1O");  // the classic 1-vs-O typo
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("DYNET_THREADS"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,452 @@
+// Campaign-layer coverage: spec parsing and shard expansion, content
+// addressing, the crash-safe checkpoint store, retry/backoff policy math,
+// and full campaign runs in both execution modes.
+//
+// The supervision ladder is exercised with REAL subprocess workers (the
+// dynet_cli binary from the build tree, via DYNET_TOOLS_DIR) and the
+// sabotage hooks: a "crash" shard burns all attempts and is quarantined
+// while the campaign completes; a "crash_once" shard fails, backs off,
+// retries, and succeeds — the flaky-worker story end to end.  The
+// byte-identity pins (in-process == subprocess, interrupted+resumed ==
+// uninterrupted) are the determinism contract of docs/CAMPAIGNS.md.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/scheduler.h"
+#include "campaign/shard_exec.h"
+#include "campaign/spec.h"
+#include "campaign/store.h"
+#include "campaign/worker.h"
+#include "obs/json.h"
+#include "util/check.h"
+
+#ifndef DYNET_TOOLS_DIR
+#error "DYNET_TOOLS_DIR must point at the build tree's tools directory"
+#endif
+
+namespace dynet::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  fs::remove_all(path);
+  return path;
+}
+
+std::string smallSpecText() {
+  return R"({
+    "name": "t",
+    "protocols": ["flood", "leader_known_d"],
+    "adversaries": ["static_path", "random_tree"],
+    "nodes": [8],
+    "seeds": {"base": 7, "count": 4, "per_shard": 2},
+    "max_rounds": 5000
+  })";
+}
+
+TEST(CampaignSpec, HashIsFnv1aOfCanonicalJson) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);  // reference vector
+  EXPECT_EQ(hashHex(0), "0000000000000000");
+  EXPECT_EQ(hashHex(0xdeadbeefULL), "00000000deadbeef");
+  ShardConfig shard;
+  EXPECT_EQ(shard.hash(), hashHex(fnv1a64(shard.canonicalJson())));
+}
+
+TEST(CampaignSpec, CanonicalJsonRoundTripsThroughParser) {
+  // The worker re-derives the hash from the parsed config; any field that
+  // does not survive the round trip (e.g. a 64-bit seed squeezed through a
+  // double) would break supervisor/worker agreement.
+  ShardConfig shard;
+  shard.protocol = "leader_unknown_d";
+  shard.adversary = "gnp";
+  shard.n = 32;
+  shard.trials = 3;
+  shard.seed_base = 0xdeadbeefcafef00dULL;  // needs > 53 bits
+  shard.p = 0.125;
+  shard.fault.name = "burst";
+  shard.fault.config.crash_fraction = 0.25;
+  shard.fault.config.restart = true;
+  const ShardConfig parsed =
+      parseShardConfig(obs::Json::parse(shard.canonicalJson()));
+  EXPECT_EQ(parsed.seed_base, shard.seed_base);
+  EXPECT_EQ(parsed.canonicalJson(), shard.canonicalJson());
+  EXPECT_EQ(parsed.hash(), shard.hash());
+}
+
+TEST(CampaignSpec, ParseRejectsGarbage) {
+  EXPECT_THROW(CampaignSpec::parse("{"), util::CheckError);
+  EXPECT_THROW(CampaignSpec::parse(R"({"protocols": ["flood"]})"),
+               util::CheckError);  // missing adversaries/nodes/seeds
+  EXPECT_THROW(CampaignSpec::parse(R"({
+    "protocols": ["flood"], "adversaries": ["static_path"],
+    "nodes": [8], "seeds": {"count": 1}, "typo_key": 1})"),
+               util::CheckError);
+  EXPECT_THROW(CampaignSpec::parse(R"({
+    "protocols": ["no_such_protocol"], "adversaries": ["static_path"],
+    "nodes": [8], "seeds": {"count": 1}})"),
+               util::CheckError);
+  EXPECT_THROW(CampaignSpec::parse(R"({
+    "protocols": ["flood"], "adversaries": ["static_path"],
+    "nodes": [8], "seeds": {"count": 0}})"),
+               util::CheckError);
+  // Unknown sabotage modes must die at parse time, not inside a worker.
+  EXPECT_THROW(CampaignSpec::parse(R"({
+    "protocols": ["flood"], "adversaries": ["static_path"], "nodes": [8],
+    "seeds": {"count": 1}, "faults": [{"name": "x", "sabotage": "maim"}]})"),
+               util::CheckError);
+}
+
+TEST(CampaignSpec, ExpandShardsCoversTheGridDeterministically) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  const std::vector<ShardConfig> shards = spec.expandShards();
+  // 2 protocols x 2 adversaries x 1 n x 1 fault x 2 seed blocks.
+  ASSERT_EQ(shards.size(), 8u);
+  for (const ShardConfig& shard : shards) {
+    EXPECT_EQ(shard.trials, 2);
+    EXPECT_EQ(shard.max_rounds, 5000);
+  }
+  // Blocks of the same cell get distinct derived base seeds.
+  EXPECT_NE(shards[0].seed_base, shards[1].seed_base);
+  EXPECT_NE(shards[0].hash(), shards[1].hash());
+  // Expansion is deterministic (the merge-order guarantee).
+  const std::vector<ShardConfig> again =
+      CampaignSpec::parse(smallSpecText()).expandShards();
+  ASSERT_EQ(again.size(), shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(again[i].canonicalJson(), shards[i].canonicalJson());
+  }
+}
+
+TEST(CampaignSpec, LastSeedBlockTakesTheRemainder) {
+  CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  spec.seed_count = 5;
+  spec.seeds_per_shard = 2;
+  spec.protocols = {"flood"};
+  spec.adversaries = {"static_path"};
+  const std::vector<ShardConfig> shards = spec.expandShards();
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].trials, 2);
+  EXPECT_EQ(shards[1].trials, 2);
+  EXPECT_EQ(shards[2].trials, 1);
+}
+
+TEST(RetryPolicy, BackoffDoublesAndCaps) {
+  RetryPolicy retry;
+  retry.backoff_ms = 100;
+  retry.backoff_max_ms = 450;
+  EXPECT_EQ(retry.backoffDelayMs(1), 100);
+  EXPECT_EQ(retry.backoffDelayMs(2), 200);
+  EXPECT_EQ(retry.backoffDelayMs(3), 400);
+  EXPECT_EQ(retry.backoffDelayMs(4), 450);  // capped
+  EXPECT_EQ(retry.backoffDelayMs(10), 450);
+  EXPECT_THROW(retry.backoffDelayMs(0), util::CheckError);
+}
+
+TEST(CheckpointStore, CommitLoadQuarantineRoundTrip) {
+  CheckpointStore store(freshDir("campaign_store"));
+  EXPECT_FALSE(store.hasResult("aa"));
+  store.commitResult("aa", "{\"x\":1}");
+  EXPECT_TRUE(store.hasResult("aa"));
+  EXPECT_EQ(store.loadResult("aa").value(), "{\"x\":1}\n");
+  EXPECT_FALSE(store.loadResult("bb").has_value());
+  // Commits stage through tmp/ and rename into place; nothing may linger.
+  EXPECT_TRUE(fs::is_empty(fs::path(store.dir()) / "tmp"));
+
+  EXPECT_FALSE(store.isQuarantined("cc"));
+  store.quarantine("cc", "died: \"segv\"\nrepeatedly", 3);
+  EXPECT_TRUE(store.isQuarantined("cc"));
+  // The marker must be parseable JSON despite quotes/newlines in the reason.
+  const obs::Json marker =
+      obs::Json::parse(store.readFile("quarantine/cc.json").value());
+  EXPECT_EQ(marker.at("hash").str(), "cc");
+  EXPECT_EQ(marker.at("attempts").number(), 3);
+  store.clearQuarantine("cc");
+  EXPECT_FALSE(store.isQuarantined("cc"));
+}
+
+TEST(ShardExec, ResultJsonRoundTrips) {
+  ShardResult result;
+  result.hash = "00ff";
+  result.trials = 2;
+  result.metrics["rounds"] = {7, 9.5};
+  result.metrics["all_done"] = {1, 1};
+  const ShardResult parsed = ShardResult::parseJson(result.toJson());
+  EXPECT_EQ(parsed.hash, result.hash);
+  EXPECT_EQ(parsed.trials, result.trials);
+  EXPECT_EQ(parsed.metrics, result.metrics);
+  EXPECT_THROW(ShardResult::parseJson("{\"not_a_shard\":1}"),
+               util::CheckError);
+  EXPECT_THROW(ShardResult::parseJson("{\"dynet_shard\":1,\"trials\""),
+               util::CheckError);
+}
+
+TEST(ShardExec, RunShardIsDeterministic) {
+  ShardConfig shard;
+  shard.protocol = "leader_known_d";
+  shard.adversary = "random_tree";
+  shard.n = 12;
+  shard.trials = 3;
+  shard.seed_base = 99;
+  shard.max_rounds = 5000;
+  const std::string a = runShard(shard).toJson();
+  const std::string b = runShard(shard).toJson();
+  EXPECT_EQ(a, b);
+  const ShardResult parsed = ShardResult::parseJson(a);
+  EXPECT_EQ(parsed.hash, shard.hash());
+  ASSERT_EQ(parsed.metrics.at("rounds").size(), 3u);
+  EXPECT_GT(parsed.metrics.at("rounds")[0], 0);
+}
+
+TEST(ShardExec, FaultyShardRecordsFaultMetrics) {
+  ShardConfig shard;
+  shard.protocol = "flood";
+  // Dense G(n,p): the live subgraph stays connected through the crash
+  // window (a star would disconnect the instant its center crashes).
+  shard.adversary = "gnp";
+  shard.p = 0.6;
+  shard.n = 16;
+  shard.trials = 2;
+  // Flood with halt_round 0 never quiesces, so the run lasts max_rounds;
+  // keep it short and restart crashed nodes fast so every live-subgraph
+  // draw stays connected at these seeds.
+  shard.max_rounds = 40;
+  shard.fault.name = "crashy";
+  shard.fault.config.crash_fraction = 0.25;
+  shard.fault.config.crash_window = 8;
+  shard.fault.config.restart = true;
+  shard.fault.config.restart_downtime = 4;
+  const ShardResult result = runShard(shard);
+  EXPECT_TRUE(result.metrics.count("crashes"));
+  EXPECT_TRUE(result.metrics.count("restarts"));
+}
+
+std::string reportOf(const std::string& dir) {
+  CheckpointStore store(dir);
+  return store.readFile("report.json").value();
+}
+
+TEST(Campaign, InProcessRunCompletesAndReportsFullCoverage) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("campaign_inproc");
+  options.workers = 3;
+  const CampaignOutcome outcome = runCampaign(spec, options);
+  EXPECT_EQ(outcome.shards_total, 8u);
+  EXPECT_EQ(outcome.completed_new, 8u);
+  EXPECT_EQ(outcome.quarantined, 0u);
+  EXPECT_TRUE(outcome.fullCoverage());
+  EXPECT_FALSE(outcome.stopped_early);
+  const obs::Json report =
+      obs::Json::parse(reportOf(options.checkpoint_dir));
+  EXPECT_EQ(report.at("counters").at("campaign/trials").number(), 16);
+  EXPECT_EQ(report.at("gauges").at("campaign/coverage").number(), 1);
+  // 8 shards x 2 trials of samples, merged in expansion order.
+  EXPECT_EQ(
+      report.at("series").at("trial/rounds").items().size(), 16u);
+}
+
+TEST(Campaign, InterruptedThenResumedReportIsByteIdentical) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions uninterrupted;
+  uninterrupted.checkpoint_dir = freshDir("campaign_full");
+  uninterrupted.workers = 2;
+  ASSERT_TRUE(runCampaign(spec, uninterrupted).fullCoverage());
+
+  // "Interrupt" deterministically: stop after 3 committed shards (the CI
+  // smoke test does the same with a real SIGKILL).
+  CampaignOptions partial;
+  partial.checkpoint_dir = freshDir("campaign_partial");
+  partial.workers = 1;
+  partial.shard_limit = 3;
+  const CampaignOutcome first = runCampaign(spec, partial);
+  EXPECT_TRUE(first.stopped_early);
+  EXPECT_EQ(first.completed_new, 3u);
+
+  CampaignOptions resume;
+  resume.checkpoint_dir = partial.checkpoint_dir;
+  resume.workers = 2;  // different worker count on purpose
+  const CampaignOutcome second = runCampaign(spec, resume);
+  EXPECT_EQ(second.completed_prior, 3u);
+  EXPECT_EQ(second.completed_new, 5u);
+  EXPECT_TRUE(second.fullCoverage());
+  EXPECT_EQ(reportOf(resume.checkpoint_dir),
+            reportOf(uninterrupted.checkpoint_dir));
+}
+
+TEST(Campaign, RefusesForeignCheckpointDirectory) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("campaign_foreign");
+  options.shard_limit = 1;
+  runCampaign(spec, options);
+  CampaignSpec other = spec;
+  other.nodes = {16};  // different grid -> different shard identity
+  EXPECT_THROW(runCampaign(other, options), util::CheckError);
+}
+
+TEST(Campaign, InProcessSabotageQuarantinesAndDegrades) {
+  CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  spec.protocols = {"flood"};
+  spec.adversaries = {"static_path"};
+  spec.retry.max_attempts = 2;
+  spec.retry.backoff_ms = 1;
+  spec.retry.backoff_max_ms = 2;
+  ShardFault bad;
+  bad.name = "saboteur";
+  bad.sabotage = "crash";
+  spec.faults = {ShardFault{}, bad};
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("campaign_sabotage");
+  const CampaignOutcome outcome = runCampaign(spec, options);
+  EXPECT_EQ(outcome.shards_total, 4u);  // 2 faults x 2 seed blocks
+  EXPECT_EQ(outcome.completed_new, 2u);
+  EXPECT_EQ(outcome.quarantined, 2u);
+  EXPECT_EQ(outcome.failed_attempts, 4u);  // 2 shards x 2 attempts
+  EXPECT_FALSE(outcome.fullCoverage());
+  EXPECT_FALSE(outcome.stopped_early);  // degraded, not aborted
+
+  // Quarantined shards are skipped on resume...
+  const CampaignOutcome again = runCampaign(spec, options);
+  EXPECT_EQ(again.completed_prior, 2u);
+  EXPECT_EQ(again.quarantined, 2u);
+  EXPECT_EQ(again.failed_attempts, 0u);
+
+  // ...unless retry is requested explicitly.
+  options.retry_quarantined = true;
+  const CampaignOutcome retried = runCampaign(spec, options);
+  EXPECT_EQ(retried.failed_attempts, 4u);
+  EXPECT_EQ(retried.quarantined, 2u);
+}
+
+std::string workerCmd() { return std::string(DYNET_TOOLS_DIR) + "/dynet_cli"; }
+
+TEST(Campaign, SubprocessModeMatchesInProcessByteForByte) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions inproc;
+  inproc.checkpoint_dir = freshDir("campaign_mode_a");
+  inproc.workers = 2;
+  ASSERT_TRUE(runCampaign(spec, inproc).fullCoverage());
+
+  CampaignOptions subproc;
+  subproc.checkpoint_dir = freshDir("campaign_mode_b");
+  subproc.workers = 2;
+  subproc.subprocess = true;
+  subproc.worker_cmd = workerCmd();
+  const CampaignOutcome outcome = runCampaign(spec, subproc);
+  EXPECT_TRUE(outcome.fullCoverage()) << "failed attempts: "
+                                      << outcome.failed_attempts;
+  EXPECT_EQ(reportOf(inproc.checkpoint_dir),
+            reportOf(subproc.checkpoint_dir));
+}
+
+TEST(Campaign, CrashingWorkerIsQuarantinedCampaignCompletes) {
+  CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  spec.protocols = {"flood"};
+  spec.adversaries = {"static_path"};
+  spec.retry.max_attempts = 2;
+  spec.retry.backoff_ms = 1;
+  spec.retry.backoff_max_ms = 2;
+  spec.retry.timeout_ms = 30'000;
+  ShardFault crash;
+  crash.name = "crash";
+  crash.sabotage = "crash";
+  spec.faults = {ShardFault{}, crash};
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("campaign_crash");
+  options.subprocess = true;
+  options.worker_cmd = workerCmd();
+  const CampaignOutcome outcome = runCampaign(spec, options);
+  EXPECT_EQ(outcome.completed_new, 2u);
+  EXPECT_EQ(outcome.quarantined, 2u);
+  EXPECT_EQ(outcome.failed_attempts, 4u);
+}
+
+TEST(Campaign, HangingWorkerIsKilledOnTimeout) {
+  CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  spec.protocols = {"flood"};
+  spec.adversaries = {"static_path"};
+  spec.seed_count = 1;
+  spec.seeds_per_shard = 1;
+  spec.retry.max_attempts = 2;
+  spec.retry.backoff_ms = 1;
+  spec.retry.backoff_max_ms = 2;
+  spec.retry.timeout_ms = 200;  // the hang must die fast
+  ShardFault hang;
+  hang.name = "hang";
+  hang.sabotage = "hang";
+  spec.faults = {hang};
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("campaign_hang");
+  options.subprocess = true;
+  options.worker_cmd = workerCmd();
+  const CampaignOutcome outcome = runCampaign(spec, options);
+  EXPECT_EQ(outcome.completed_new, 0u);
+  EXPECT_EQ(outcome.quarantined, 1u);
+  EXPECT_EQ(outcome.failed_attempts, 2u);
+}
+
+TEST(Campaign, FlakyWorkerSucceedsOnRetry) {
+  CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  spec.protocols = {"flood"};
+  spec.adversaries = {"static_path"};
+  spec.seed_count = 1;
+  spec.seeds_per_shard = 1;
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_ms = 1;
+  spec.retry.backoff_max_ms = 2;
+  spec.retry.timeout_ms = 30'000;
+  const std::string marker = ::testing::TempDir() + "campaign_flaky_marker";
+  fs::remove(marker);
+  ShardFault flaky;
+  flaky.name = "flaky";
+  flaky.sabotage = "crash_once";
+  flaky.sabotage_marker = marker;
+  spec.faults = {flaky};
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("campaign_flaky");
+  options.subprocess = true;
+  options.worker_cmd = workerCmd();
+  const CampaignOutcome outcome = runCampaign(spec, options);
+  EXPECT_EQ(outcome.completed_new, 1u);
+  EXPECT_EQ(outcome.quarantined, 0u);
+  EXPECT_EQ(outcome.failed_attempts, 1u);  // exactly one strike, then done
+  EXPECT_TRUE(fs::exists(marker));
+  fs::remove(marker);
+}
+
+TEST(Worker, RunsShardsFromStreamUntilEof) {
+  ShardConfig shard;
+  shard.protocol = "flood";
+  shard.adversary = "static_ring";
+  shard.n = 8;
+  shard.max_rounds = 1000;
+  std::istringstream in(shard.canonicalJson() + "\n\n" +
+                        shard.canonicalJson() + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(workerMain(in, out), 0);
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const ShardResult result = ShardResult::parseJson(line);
+    EXPECT_EQ(result.hash, shard.hash());
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Worker, MalformedConfigLineThrows) {
+  std::istringstream in("{\"protocol\":\"flood\"");
+  std::ostringstream out;
+  EXPECT_THROW(workerMain(in, out), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dynet::campaign

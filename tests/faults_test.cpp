@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "protocols/robust_leader.h"
 #include "sim/engine.h"
 #include "sim/runner.h"
+#include "sim/trace.h"
 #include "util/check.h"
 
 namespace dynet {
@@ -538,6 +540,72 @@ TEST(ZeroPlanRegression, LeaderElectionIsByteIdentical) {
   EXPECT_TRUE(clean_result.all_done);
   for (sim::NodeId v = 0; v < n; ++v) {
     EXPECT_EQ(clean->process(v).stateDigest(), zero->process(v).stateDigest());
+  }
+}
+
+// A node restarted mid-run must behave byte-identically on the arena
+// delivery + incremental-topology fast path and on the legacy
+// (vector-copy, full-rebuild) path: restart resets process state and
+// replays deliveries through whichever delivery buffers are active, which
+// is exactly where the two paths could drift.  Run the full flag matrix —
+// the same grid the fuzz-diff harness sweeps, pinned here on a scripted
+// restart so the coverage does not depend on the fuzzer's dice.
+TEST(ArenaPathRegression, RestartMidRunMatchesLegacyPathExactly) {
+  const sim::NodeId n = 10;
+  const std::uint64_t seed = 2026;
+  proto::FloodFactory factory(0, 0x33, 6, proto::FloodMode::kRandomized,
+                              /*halt_round=*/0);
+  FaultConfig fc;
+  fc.scripted_crashes = {{4, 3}, {7, 5}};
+  fc.scripted_restarts = {{4, 7}, {7, 9}};
+  auto run = [&](bool arena, bool deltas) {
+    std::vector<std::unique_ptr<sim::Process>> processes;
+    for (sim::NodeId v = 0; v < n; ++v) {
+      processes.push_back(factory.create(v, n));
+    }
+    // Dense random graphs: the live subgraph stays connected through both
+    // crash windows (seed-pinned, so this holds deterministically).
+    auto adversary = std::make_unique<adv::RandomGraphAdversary>(n, 0.5, 11);
+    sim::EngineConfig config;
+    config.max_rounds = 20;
+    config.stop_when_all_done = false;
+    config.record_actions = true;
+    config.record_topologies = true;
+    config.arena_delivery = arena;
+    config.topology_deltas = deltas;
+    auto engine = std::make_unique<sim::Engine>(
+        std::move(processes), std::move(adversary), config, seed);
+    engine->setFaultInjector(injectorFor(n, fc, 55, &factory));
+    engine->run();
+    return engine;
+  };
+  const auto reference = run(false, false);  // legacy everything
+  const sim::RunResult& want = reference->result();
+  EXPECT_EQ(want.crashes, 2u);
+  EXPECT_EQ(want.restarts, 2u);
+  std::ostringstream want_trace;
+  sim::writeTrace(want_trace, sim::traceFromEngine(*reference));
+  for (const auto& [arena, deltas] :
+       {std::pair{true, true}, {true, false}, {false, true}}) {
+    const auto engine = run(arena, deltas);
+    const sim::RunResult& got = engine->result();
+    EXPECT_EQ(got.rounds_executed, want.rounds_executed);
+    EXPECT_EQ(got.done_round, want.done_round);
+    EXPECT_EQ(got.messages_sent, want.messages_sent);
+    EXPECT_EQ(got.bits_sent, want.bits_sent);
+    EXPECT_EQ(got.bits_per_node, want.bits_per_node);
+    EXPECT_EQ(got.bits_per_round, want.bits_per_round);
+    EXPECT_EQ(got.crashes, want.crashes);
+    EXPECT_EQ(got.restarts, want.restarts);
+    for (sim::NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(engine->process(v).stateDigest(),
+                reference->process(v).stateDigest())
+          << "node " << v << " arena=" << arena << " deltas=" << deltas;
+    }
+    std::ostringstream got_trace;
+    sim::writeTrace(got_trace, sim::traceFromEngine(*engine));
+    EXPECT_EQ(got_trace.str(), want_trace.str())
+        << "trace divergence at arena=" << arena << " deltas=" << deltas;
   }
 }
 

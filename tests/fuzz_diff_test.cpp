@@ -18,6 +18,7 @@
 // so a failure reproduces from its printed config index alone.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -37,6 +38,7 @@
 #include "protocols/oracles.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
+#include "util/env.h"
 #include "util/rng.h"
 
 namespace dynet::sim {
@@ -125,6 +127,18 @@ FuzzConfig sampleConfig(std::uint64_t master_seed, int index) {
     c.fc.crash_fraction = 0.25 * static_cast<double>(rng.below(2));  // 0/0.25
     c.fc.crash_window = c.rounds / 2;
     c.fc.restart = rng.below(2) == 0;
+    c.fc.restart_downtime = 8;
+  }
+  // Guaranteed crash-restart coverage: every fourth config exercises
+  // mid-run restarts regardless of the random draws above, so the
+  // arena-delivery flag matrix always sees a node whose state machine is
+  // torn down and re-created while arena inboxes are live
+  // (tests/faults_test.cpp pins a scripted instance of the same scenario).
+  if (index % 4 == 1) {
+    c.faulty = true;
+    c.fc.crash_fraction = std::max(c.fc.crash_fraction, 0.25);
+    c.fc.crash_window = std::max<Round>(1, c.rounds / 2);
+    c.fc.restart = true;
     c.fc.restart_downtime = 8;
   }
   return c;
@@ -227,13 +241,11 @@ TrialArtifacts runConfig(const FuzzConfig& c, bool arena_delivery,
 }
 
 int configCount() {
-  if (const char* env = std::getenv("DYNET_FUZZ_CONFIGS")) {
-    const int count = std::atoi(env);
-    if (count > 0) {
-      return count;
-    }
-  }
-  return 24;  // --quick budget: a few seconds of tier-1 ctest time
+  // Unset: the --quick budget (a few seconds of tier-1 ctest time).
+  // Set-but-garbage fails loudly instead of silently fuzzing 24 configs —
+  // an overnight DYNET_FUZZ_CONFIGS=5OO run must not quietly do nothing.
+  return static_cast<int>(
+      util::envInt("DYNET_FUZZ_CONFIGS", 24, 1, 100'000'000));
 }
 
 TEST(FuzzDiff, ArenaAndDeltaPathsMatchLegacyByteForByte) {

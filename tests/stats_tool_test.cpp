@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "obs/metrics.h"
@@ -146,6 +147,46 @@ TEST(StatsTool, RejectsNonMetricsJson) {
   EXPECT_EQ(run.exit_code, 1);
   EXPECT_NE(run.output.find("not a dynet metrics.json"), std::string::npos)
       << run.output;
+}
+
+TEST(StatsTool, TruncatedJsonDiagnosesFileAndOffset) {
+  // Simulate a writer killed mid-dump: a valid metrics.json cut in half.
+  // The tool must exit 1 and point at the file and the byte offset where
+  // parsing fell off the end — not a bare "not a number" style error.
+  const std::string full_path = summaryFixture();
+  std::string text;
+  {
+    std::ifstream in(full_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  ASSERT_GT(text.size(), 32u);
+  const std::string path = ::testing::TempDir() + "stats_truncated.json";
+  {
+    std::ofstream out(path);
+    out << text.substr(0, text.size() / 2);
+  }
+  const ToolRun run = runStats("--in " + path);
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("stats_truncated.json"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("malformed metrics JSON"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("offset"), std::string::npos) << run.output;
+}
+
+TEST(StatsTool, GarbageJsonDiagnosesFileAndOffset) {
+  const std::string path = ::testing::TempDir() + "stats_garbage.json";
+  {
+    std::ofstream out(path);
+    out << "{\"dynet_metrics\": 1, \"counters\": {\"a\": ###}}\n";
+  }
+  const ToolRun run = runStats("--in " + path);
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("stats_garbage.json"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("offset"), std::string::npos) << run.output;
 }
 
 TEST(StatsTool, RejectsMissingFile) {

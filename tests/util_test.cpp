@@ -12,6 +12,7 @@
 #include "util/bitio.h"
 #include "util/check.h"
 #include "util/cli.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -354,6 +355,43 @@ TEST(ThreadPool, ZeroItemsNoop) {
   ThreadPool pool(2);
   pool.parallelFor(0, [](std::size_t) { FAIL(); });
   SUCCEED();
+}
+
+// ------------------------------------------------------------ parseEnvInt
+
+TEST(ParseEnvInt, UnsetOrEmptySelectsFallback) {
+  EXPECT_EQ(parseEnvInt("X", nullptr, 7, 1, 100), 7);
+  EXPECT_EQ(parseEnvInt("X", "", 7, 1, 100), 7);
+}
+
+TEST(ParseEnvInt, ParsesInRangeValues) {
+  EXPECT_EQ(parseEnvInt("X", "1", 7, 1, 100), 1);
+  EXPECT_EQ(parseEnvInt("X", "100", 7, 1, 100), 100);
+  EXPECT_EQ(parseEnvInt("X", "-5", 0, -10, 10), -5);
+}
+
+TEST(ParseEnvInt, RejectsGarbageNamingTheVariable) {
+  try {
+    parseEnvInt("DYNET_WIDGETS", "12abc", 7, 1, 100);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DYNET_WIDGETS"), std::string::npos) << what;
+    EXPECT_NE(what.find("12abc"), std::string::npos) << what;
+    EXPECT_NE(what.find("1..100"), std::string::npos) << what;
+  }
+  EXPECT_THROW(parseEnvInt("X", "abc", 7, 1, 100), CheckError);
+  EXPECT_THROW(parseEnvInt("X", " 4", 7, 1, 100), CheckError);
+  EXPECT_THROW(parseEnvInt("X", "4 ", 7, 1, 100), CheckError);
+}
+
+TEST(ParseEnvInt, RejectsOutOfRangeAndOverflow) {
+  EXPECT_THROW(parseEnvInt("X", "0", 7, 1, 100), CheckError);
+  EXPECT_THROW(parseEnvInt("X", "101", 7, 1, 100), CheckError);
+  EXPECT_THROW(parseEnvInt("X", "-1", 7, 1, 100), CheckError);
+  // Past INT64_MAX: strtoll saturates with ERANGE; must still be loud.
+  EXPECT_THROW(parseEnvInt("X", "99999999999999999999999", 7, 1, 100),
+               CheckError);
 }
 
 }  // namespace

@@ -1,60 +1,47 @@
 // dynet_cli — run any bundled protocol against any bundled adversary from
 // the command line; print metrics and (optionally) dump the full trace plus
-// observability artifacts.
+// observability artifacts.  Also the front end for crash-safe campaigns.
 //
 //   $ dynet_cli --protocol leader_unknown_d --adversary random_tree
 //               --nodes 64 --seed 7 [--trace out.trace] [--max-rounds M]
 //               [--metrics-out metrics.json] [--chrome-trace trace.json]
 //               [--trace-jsonl events.jsonl]
 //
+//   $ dynet_cli --campaign spec.json --checkpoint dir [--workers N]
+//               [--isolation inprocess|subprocess] [--report out.json]
+//               [--shard-limit N] [--retry-quarantined] [--verbose]
+//   $ dynet_cli --campaign-report dir          # re-merge + summarize
+//   $ dynet_cli --worker                       # internal: shard worker loop
+//
 // `--list` prints the valid protocol/adversary names; an unknown name does
 // the same and exits non-zero.  --metrics-out writes the metric catalog of
 // docs/OBSERVABILITY.md (summarize or diff it with dynet_stats);
 // --chrome-trace writes round-phase spans loadable in chrome://tracing /
-// Perfetto; --trace-jsonl the same events one-per-line.
+// Perfetto; --trace-jsonl the same events one-per-line.  Campaign modes are
+// documented in docs/CAMPAIGNS.md: exit 0 = full coverage, 3 = incomplete
+// (stopped early or shards quarantined), 1 = hard error.
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <unistd.h>
 
-#include "adversary/churn_adversaries.h"
-#include "adversary/dual_graph.h"
-#include "adversary/dynamic_adversaries.h"
-#include "adversary/static_adversaries.h"
+#include "campaign/scheduler.h"
+#include "campaign/shard_exec.h"
+#include "campaign/spec.h"
+#include "campaign/worker.h"
 #include "net/churn.h"
 #include "net/diameter.h"
 #include "obs/prof.h"
 #include "obs/sink.h"
-#include "protocols/cflood.h"
-#include "protocols/consensus_known_d.h"
-#include "protocols/consensus_via_leader.h"
-#include "protocols/counting.h"
-#include "protocols/flood.h"
-#include "protocols/hear_from_n.h"
-#include "protocols/leader_unknown_d.h"
-#include "protocols/max_flood.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
+#include "util/check.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 namespace dynet {
 namespace {
-
-const std::vector<std::string>& protocolNames() {
-  static const std::vector<std::string> names = {
-      "flood",       "cflood",           "leader_known_d",
-      "consensus_known_d", "count",      "hear_from_n",
-      "leader_unknown_d",  "consensus_unknown_d"};
-  return names;
-}
-
-const std::vector<std::string>& adversaryNames() {
-  static const std::vector<std::string> names = {
-      "static_path",  "static_star",   "static_ring", "static_torus",
-      "random_tree",  "anchored_star", "rotating_star", "shuffle_path",
-      "interval",     "edge_churn",    "gnp",         "dual_ring"};
-  return names;
-}
 
 void printNameList(std::ostream& out, const std::string& label,
                    const std::vector<std::string>& names) {
@@ -72,116 +59,161 @@ void printNameList(std::ostream& out, const std::string& label,
   std::exit(2);
 }
 
-std::unique_ptr<sim::Adversary> makeAdversary(const std::string& name,
-                                              sim::NodeId n, std::uint64_t seed,
-                                              const util::Cli& cli) {
-  if (name == "static_path") {
-    return std::make_unique<adv::StaticAdversary>(net::makePath(n));
+/// Path to this binary (worker_cmd default for subprocess campaigns).
+std::string selfExecutable() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  DYNET_CHECK(n > 0) << "cannot resolve /proc/self/exe";
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+void printCampaignSummary(const campaign::CampaignOutcome& outcome,
+                          const std::string& checkpoint_dir) {
+  util::Table table({"metric", "value"});
+  table.row().cell("shards total").cell(
+      static_cast<std::int64_t>(outcome.shards_total));
+  table.row().cell("completed (prior)").cell(
+      static_cast<std::int64_t>(outcome.completed_prior));
+  table.row().cell("completed (new)").cell(
+      static_cast<std::int64_t>(outcome.completed_new));
+  table.row().cell("quarantined").cell(
+      static_cast<std::int64_t>(outcome.quarantined));
+  table.row().cell("failed attempts").cell(
+      static_cast<std::int64_t>(outcome.failed_attempts));
+  table.row().cell("coverage").cell(
+      outcome.shards_total == 0
+          ? 1.0
+          : static_cast<double>(outcome.completed()) /
+                static_cast<double>(outcome.shards_total),
+      4);
+  table.row().cell("stopped early").cell(outcome.stopped_early ? "yes" : "no");
+  std::cout << table.toString();
+  std::cout << "report written to " << checkpoint_dir << "/report.json\n";
+}
+
+int runCampaignMode(util::Cli& cli, const std::string& spec_path) {
+  campaign::CampaignOptions options;
+  options.checkpoint_dir = cli.str("checkpoint", "");
+  DYNET_CHECK(!options.checkpoint_dir.empty())
+      << "--campaign requires --checkpoint <dir>";
+  options.workers =
+      static_cast<unsigned>(cli.integer("workers", 1));
+  const std::string isolation = cli.str("isolation", "inprocess");
+  DYNET_CHECK(isolation == "inprocess" || isolation == "subprocess")
+      << "--isolation must be 'inprocess' or 'subprocess', got '" << isolation
+      << "'";
+  options.subprocess = isolation == "subprocess";
+  options.worker_cmd = cli.str("worker-cmd", "");
+  if (options.subprocess && options.worker_cmd.empty()) {
+    options.worker_cmd = selfExecutable();
   }
-  if (name == "static_star") {
-    return std::make_unique<adv::StaticAdversary>(net::makeStar(n));
+  options.shard_limit = static_cast<int>(cli.integer("shard-limit", 0));
+  options.retry_quarantined = cli.flag("retry-quarantined");
+  options.verbose = cli.flag("verbose");
+  const std::string report_path = cli.str("report", "");
+  cli.rejectUnknown();
+
+  const campaign::CampaignSpec spec = campaign::CampaignSpec::load(spec_path);
+  const campaign::CampaignOutcome outcome =
+      campaign::runCampaign(spec, options);
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    DYNET_CHECK(out.good()) << "cannot open " << report_path;
+    campaign::CheckpointStore store(options.checkpoint_dir);
+    campaign::writeReport(spec, store, out);
   }
-  if (name == "static_ring") {
-    return std::make_unique<adv::StaticAdversary>(net::makeRing(n));
+  printCampaignSummary(outcome, options.checkpoint_dir);
+  return outcome.fullCoverage() ? 0 : 3;
+}
+
+int runCampaignReportMode(util::Cli& cli, const std::string& checkpoint_dir) {
+  const std::string spec_path = cli.str("spec", "");
+  const std::string report_path = cli.str("report", "");
+  cli.rejectUnknown();
+  // The user-facing spec isn't stored in the checkpoint (only the shard-hash
+  // identity is), so re-merging needs the original spec file.
+  DYNET_CHECK(!spec_path.empty())
+      << "--campaign-report requires --spec <spec.json>";
+  const campaign::CampaignSpec spec = campaign::CampaignSpec::load(spec_path);
+  campaign::CheckpointStore store(checkpoint_dir);
+  std::ostringstream report;
+  const campaign::ReportInfo info = campaign::writeReport(spec, store, report);
+  store.writeFile("report.json", report.str());
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    DYNET_CHECK(out.good()) << "cannot open " << report_path;
+    out << report.str();
   }
-  if (name == "static_torus") {
-    const auto side = static_cast<sim::NodeId>(std::sqrt(static_cast<double>(n)));
-    DYNET_CHECK(side * side == n) << "--nodes must be a square for a torus";
-    return std::make_unique<adv::StaticAdversary>(net::makeTorus(side, side));
-  }
-  if (name == "random_tree") {
-    return std::make_unique<adv::RandomTreeAdversary>(n, seed);
-  }
-  if (name == "anchored_star") {
-    return std::make_unique<adv::AnchoredStarAdversary>(n, seed);
-  }
-  if (name == "rotating_star") {
-    return std::make_unique<adv::RotatingStarAdversary>(n);
-  }
-  if (name == "shuffle_path") {
-    return std::make_unique<adv::ShufflePathAdversary>(n, seed);
-  }
-  if (name == "interval") {
-    return std::make_unique<adv::IntervalAdversary>(
-        n, static_cast<sim::Round>(cli.integer("interval", 8)), seed);
-  }
-  if (name == "edge_churn") {
-    return std::make_unique<adv::EdgeChurnAdversary>(
-        n, static_cast<int>(cli.integer("churn", 2)), seed);
-  }
-  if (name == "gnp") {
-    return std::make_unique<adv::RandomGraphAdversary>(
-        n, cli.real("p", 0.02), seed);
-  }
-  if (name == "dual_ring") {
-    return adv::makeRingWithChords(n, adv::DualGraphPolicy::kRandom,
-                                   cli.real("p", 0.5), seed);
-  }
-  failUnknown("adversary", name, adversaryNames());
+  util::Table table({"metric", "value"});
+  table.row().cell("shards total").cell(
+      static_cast<std::int64_t>(info.shards_total));
+  table.row().cell("shards covered").cell(
+      static_cast<std::int64_t>(info.shards_covered));
+  table.row().cell("shards quarantined").cell(
+      static_cast<std::int64_t>(info.shards_quarantined));
+  table.row().cell("trials").cell(static_cast<std::int64_t>(info.trials));
+  std::cout << table.toString();
+  std::cout << "report written to " << checkpoint_dir << "/report.json\n";
+  return info.shards_covered == info.shards_total ? 0 : 3;
 }
 
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (cli.flag("worker")) {
+    cli.rejectUnknown();
+    return campaign::workerMain(std::cin, std::cout);
+  }
+  if (cli.has("campaign")) {
+    return runCampaignMode(cli, cli.str("campaign", ""));
+  }
+  if (cli.has("campaign-report")) {
+    return runCampaignReportMode(cli, cli.str("campaign-report", ""));
+  }
   if (cli.flag("list")) {
-    printNameList(std::cout, "protocols", protocolNames());
-    printNameList(std::cout, "adversaries", adversaryNames());
+    printNameList(std::cout, "protocols", campaign::protocolNames());
+    printNameList(std::cout, "adversaries", campaign::adversaryNames());
     return 0;
   }
-  const std::string protocol = cli.str("protocol", "leader_unknown_d");
-  const std::string adversary_name = cli.str("adversary", "random_tree");
-  const auto n = static_cast<sim::NodeId>(cli.integer("nodes", 64));
+
+  // Single-run mode: build the run as a one-off shard config so the CLI and
+  // the campaign layer share one construction path for the zoo.
+  campaign::ShardConfig shard;
+  shard.protocol = cli.str("protocol", "leader_unknown_d");
+  shard.adversary = cli.str("adversary", "random_tree");
+  shard.n = static_cast<sim::NodeId>(cli.integer("nodes", 64));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 1));
-  const int diameter = static_cast<int>(cli.integer("diameter", 8));
+  shard.diameter = static_cast<int>(cli.integer("diameter", 8));
+  shard.k = static_cast<int>(cli.integer("k", 0));
+  shard.p = cli.real("p", 0);
+  shard.interval = static_cast<int>(cli.integer("interval", 8));
+  shard.churn = static_cast<int>(cli.integer("churn", 2));
+  shard.n_estimate = cli.real("n-estimate", 0);
+  shard.c = cli.real("c", 0.25);
+  shard.max_rounds =
+      static_cast<sim::Round>(cli.integer("max-rounds", 20'000'000));
   const std::string trace_path = cli.str("trace", "");
   const std::string metrics_path = cli.str("metrics-out", "");
   const std::string chrome_path = cli.str("chrome-trace", "");
   const std::string jsonl_path = cli.str("trace-jsonl", "");
-  const auto max_rounds =
-      static_cast<sim::Round>(cli.integer("max-rounds", 20'000'000));
 
-  std::unique_ptr<sim::ProcessFactory> factory;
-  if (protocol == "flood") {
-    factory = std::make_unique<proto::FloodFactory>(
-        0, 0x2a, 8, proto::FloodMode::kDeterministic, 0);
-  } else if (protocol == "cflood") {
-    factory = std::make_unique<proto::CFloodFactory>(
-        0, 0x2a, 8, proto::FloodMode::kDeterministic, diameter);
-  } else if (protocol == "leader_known_d") {
-    factory = std::make_unique<proto::LeaderKnownDFactory>(diameter);
-  } else if (protocol == "consensus_known_d") {
-    std::vector<std::uint64_t> inputs;
-    for (sim::NodeId v = 0; v < n; ++v) {
-      inputs.push_back(static_cast<std::uint64_t>(v % 2));
-    }
-    factory = std::make_unique<proto::ConsensusKnownDFactory>(inputs, diameter);
-  } else if (protocol == "count") {
-    const int k = static_cast<int>(cli.integer("k", 128));
-    factory = std::make_unique<proto::CountingFactory>(
-        k, proto::countingRounds(k, diameter, n, 3), seed);
-  } else if (protocol == "hear_from_n") {
-    const int k = static_cast<int>(cli.integer("k", 128));
-    factory = std::make_unique<proto::HearFromNFactory>(
-        k, proto::countingRounds(k, diameter, n, 3), seed, 0.25);
-  } else if (protocol == "leader_unknown_d" ||
-             protocol == "consensus_unknown_d") {
-    proto::LeaderConfig config;
-    config.n_estimate = cli.real("n-estimate", 1.1 * n);
-    config.c = cli.real("c", 0.25);
-    config.k = static_cast<int>(cli.integer("k", 64));
-    if (protocol == "consensus_unknown_d") {
-      std::vector<std::uint64_t> inputs;
-      for (sim::NodeId v = 0; v < n; ++v) {
-        inputs.push_back(static_cast<std::uint64_t>(v % 2));
-      }
-      factory = std::make_unique<proto::ConsensusViaLeaderFactory>(
-          config, seed, std::move(inputs));
-    } else {
-      factory = std::make_unique<proto::LeaderElectFactory>(config, seed);
-    }
-  } else {
-    failUnknown("protocol", protocol, protocolNames());
+  bool known = false;
+  for (const std::string& name : campaign::protocolNames()) {
+    known = known || name == shard.protocol;
   }
-  auto adversary = makeAdversary(adversary_name, n, seed, cli);
+  if (!known) {
+    failUnknown("protocol", shard.protocol, campaign::protocolNames());
+  }
+  known = false;
+  for (const std::string& name : campaign::adversaryNames()) {
+    known = known || name == shard.adversary;
+  }
+  if (!known) {
+    failUnknown("adversary", shard.adversary, campaign::adversaryNames());
+  }
+
+  std::unique_ptr<sim::ProcessFactory> factory =
+      campaign::makeProtocolFactory(shard, seed);
+  auto adversary = campaign::makeAdversary(shard, seed);
   cli.rejectUnknown();
 
   // Observability plumbing: one sink for engine metrics and DYNET_PROF
@@ -199,11 +231,11 @@ int run(int argc, char** argv) {
   }
 
   std::vector<std::unique_ptr<sim::Process>> processes;
-  for (sim::NodeId v = 0; v < n; ++v) {
-    processes.push_back(factory->create(v, n));
+  for (sim::NodeId v = 0; v < shard.n; ++v) {
+    processes.push_back(factory->create(v, shard.n));
   }
   sim::EngineConfig config;
-  config.max_rounds = max_rounds;
+  config.max_rounds = shard.max_rounds;
   config.record_topologies = true;
   config.record_actions = !trace_path.empty();
   if (want_metrics || want_spans) {
@@ -212,9 +244,10 @@ int run(int argc, char** argv) {
   sim::Engine engine(std::move(processes), std::move(adversary), config, seed);
   const auto result = engine.run();
 
+  const sim::NodeId n = shard.n;
   util::Table table({"metric", "value"});
-  table.row().cell("protocol").cell(protocol);
-  table.row().cell("adversary").cell(adversary_name);
+  table.row().cell("protocol").cell(shard.protocol);
+  table.row().cell("adversary").cell(shard.adversary);
   table.row().cell("nodes").cell(static_cast<std::int64_t>(n));
   table.row().cell("all done").cell(result.all_done ? "yes" : "no");
   table.row().cell("rounds").cell(static_cast<std::int64_t>(result.all_done_round));
@@ -270,4 +303,11 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace dynet
 
-int main(int argc, char** argv) { return dynet::run(argc, argv); }
+int main(int argc, char** argv) {
+  try {
+    return dynet::run(argc, argv);
+  } catch (const dynet::util::CheckError& e) {
+    std::cerr << "dynet_cli: " << e.what() << "\n";
+    return 1;
+  }
+}

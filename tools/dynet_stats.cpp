@@ -31,7 +31,16 @@ obs::Json loadMetrics(const std::string& path) {
   DYNET_CHECK(in.good()) << "cannot open " << path;
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  obs::Json root = obs::Json::parse(buffer.str());
+  obs::Json root;
+  try {
+    root = obs::Json::parse(buffer.str());
+  } catch (const util::CheckError& e) {
+    // Re-raise with the file named: a truncated metrics.json (killed
+    // writer, partial download) must point at file + byte offset, not
+    // read as an anonymous parser error.
+    DYNET_CHECK(false) << path << ": malformed metrics JSON ("
+                       << buffer.str().size() << " bytes read): " << e.what();
+  }
   DYNET_CHECK(root.isObject() && root.has("dynet_metrics"))
       << path << " is not a dynet metrics.json file";
   return root;
