@@ -14,13 +14,33 @@
 #include <vector>
 
 #include "campaign/shard_exec.h"
+#include "campaign/telemetry.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "util/check.h"
 #include "util/subprocess.h"
 
 namespace dynet::campaign {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsedUs(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+/// Current value of a counter if it exists (never registers it).
+std::uint64_t counterValue(const obs::MetricsRegistry& registry,
+                           const std::string& name) {
+  const auto it = registry.counters().find(name);
+  return it == registry.counters().end() ? 0 : it->second.value;
+}
+
+bool isEventLine(const std::string& line) {
+  return line.rfind("{\"dynet_event\"", 0) == 0;
+}
 
 /// One attempt's outcome, feeding the retry/quarantine ladder.
 struct Attempt {
@@ -62,57 +82,119 @@ Attempt attemptInProcess(const ShardConfig& shard) {
   return a;
 }
 
-/// One persistent worker per supervisor thread, respawned on demand.
+/// One persistent worker per supervisor thread, respawned on demand.  With
+/// telemetry attached the worker runs with `--emit-events` and a piped
+/// stderr: event lines on stdout are re-emitted into the campaign stream,
+/// stderr is drained and re-printed whole-line through the single writer,
+/// and worker lifecycle (spawn/exit) is recorded.
 class WorkerSlot {
  public:
-  explicit WorkerSlot(std::string cmd) : cmd_(std::move(cmd)) {}
+  WorkerSlot(std::string cmd, int slot, CampaignTelemetry* telemetry)
+      : cmd_(std::move(cmd)), slot_(slot), telemetry_(telemetry) {}
 
-  Attempt run(const ShardConfig& shard, int timeout_ms) {
+  Attempt run(const ShardConfig& shard, int timeout_ms, int attempt,
+              obs::MetricsRegistry* prof) {
     Attempt a;
     if (!worker_) {
-      worker_.emplace(util::Subprocess::spawn({cmd_, "--worker"}));
+      const Clock::time_point spawn_start = Clock::now();
+      std::vector<std::string> argv = {cmd_, "--worker"};
+      if (telemetry_ != nullptr) {
+        argv.push_back("--emit-events");
+      }
+      worker_.emplace(
+          util::Subprocess::spawn(argv, /*pipe_stderr=*/telemetry_ != nullptr));
+      const double spawn_us = elapsedUs(spawn_start);
+      if (prof != nullptr) {
+        obs::recordProfSample(*prof, "campaign//worker_spawn", spawn_us);
+      }
+      if (telemetry_ != nullptr) {
+        telemetry_->workerSpawned(slot_, worker_->pid(), spawn_us / 1000.0);
+      }
     }
+    const pid_t pid = worker_->pid();
     if (!worker_->writeLine(shard.canonicalJson())) {
       // Stdin pipe broken: the worker died between shards.  Report why and
       // let the retry ladder respawn on the next call.
+      const int status = worker_->wait();
+      forwardStderr();
       a.error = "worker died before accepting shard (exit status " +
-                std::to_string(worker_->wait()) + ")";
+                std::to_string(status) + ")";
+      noteExit(pid, status, "died between shards");
       worker_.reset();
       return a;
     }
+    // Event lines may precede the result line, so the deadline spans the
+    // whole exchange: each read gets whatever budget remains.
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
     std::string line;
-    switch (worker_->readLine(&line, timeout_ms)) {
-      case util::Subprocess::ReadStatus::kLine:
-        a.ok = true;
-        a.result_json = std::move(line);
-        return a;
-      case util::Subprocess::ReadStatus::kTimeout: {
-        worker_->kill();
-        a.error = "timeout after " + std::to_string(timeout_ms) +
-                  "ms (worker killed)";
-        worker_.reset();
-        return a;
+    for (;;) {
+      int remaining_ms = timeout_ms;
+      if (timeout_ms >= 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        remaining_ms = static_cast<int>(std::max<long long>(0, left.count()));
       }
-      case util::Subprocess::ReadStatus::kEof: {
-        const int status = worker_->wait();
-        std::ostringstream msg;
-        if (status < 0) {
-          msg << "worker killed by signal " << -status;
-        } else {
-          msg << "worker exited with status " << status;
+      switch (worker_->readLine(&line, remaining_ms)) {
+        case util::Subprocess::ReadStatus::kLine:
+          forwardStderr();
+          if (telemetry_ != nullptr && isEventLine(line)) {
+            telemetry_->workerEvent(slot_, attempt, line);
+            continue;
+          }
+          a.ok = true;
+          a.result_json = std::move(line);
+          return a;
+        case util::Subprocess::ReadStatus::kTimeout: {
+          worker_->kill();
+          const int status = worker_->wait();
+          forwardStderr();
+          a.error = "timeout after " + std::to_string(timeout_ms) +
+                    "ms (worker killed)";
+          noteExit(pid, status, "timeout");
+          worker_.reset();
+          return a;
         }
-        msg << " before producing a result";
-        a.error = msg.str();
-        worker_.reset();
-        return a;
+        case util::Subprocess::ReadStatus::kEof: {
+          const int status = worker_->wait();
+          forwardStderr();
+          std::ostringstream msg;
+          if (status < 0) {
+            msg << "worker killed by signal " << -status;
+          } else {
+            msg << "worker exited with status " << status;
+          }
+          msg << " before producing a result";
+          a.error = msg.str();
+          noteExit(pid, status, "exited before result");
+          worker_.reset();
+          return a;
+        }
       }
     }
-    a.error = "unreachable read status";
-    return a;
   }
 
  private:
+  void forwardStderr() {
+    if (telemetry_ == nullptr || !worker_) {
+      return;
+    }
+    std::vector<std::string> lines;
+    worker_->drainStderrLines(&lines);
+    for (const std::string& l : lines) {
+      telemetry_->workerStderr(slot_, l);
+    }
+  }
+
+  void noteExit(pid_t pid, int status, const std::string& reason) {
+    if (telemetry_ != nullptr) {
+      telemetry_->workerExited(slot_, pid, status, reason);
+    }
+  }
+
   std::string cmd_;
+  int slot_ = 0;
+  CampaignTelemetry* telemetry_ = nullptr;
   std::optional<util::Subprocess> worker_;
 };
 
@@ -148,14 +230,21 @@ struct SharedState {
   std::atomic<std::size_t> quarantined{0};
   std::atomic<std::size_t> failed_attempts{0};
   std::atomic<bool> stop{false};
-  std::mutex io_mutex;  // serializes stderr progress lines
+  std::mutex io_mutex;  // serializes stderr progress lines (telemetry off)
+  CampaignTelemetry* telemetry = nullptr;  // null when telemetry is off
+  Clock::time_point run_start;
 };
 
 void supervise(SharedState& state, const CampaignSpec& spec,
-               const CampaignOptions& options, CheckpointStore& store) {
+               const CampaignOptions& options, CheckpointStore& store,
+               int slot_id, obs::MetricsRegistry* prof) {
+  CampaignTelemetry* telemetry = state.telemetry;
+  // In-process shard execution inherits this scope, so engine-level
+  // DYNET_PROF timers land beside the campaign//<stage> samples.
+  obs::ProfScope prof_scope(prof);
   std::optional<WorkerSlot> slot;
   if (options.subprocess) {
-    slot.emplace(options.worker_cmd);
+    slot.emplace(options.worker_cmd, slot_id, telemetry);
   }
   for (;;) {
     if (state.stop.load(std::memory_order_relaxed)) {
@@ -168,6 +257,16 @@ void supervise(SharedState& state, const CampaignSpec& spec,
     }
     const ShardConfig& shard = (*state.shards)[state.pending[i]];
     const std::string hash = shard.hash();
+    const double queue_wait_us =
+        telemetry != nullptr || prof != nullptr
+            ? elapsedUs(state.run_start)
+            : 0;
+    if (prof != nullptr) {
+      obs::recordProfSample(*prof, "campaign//queue_wait", queue_wait_us);
+    }
+    if (telemetry != nullptr) {
+      telemetry->shardClaimed(hash, state.pending[i], queue_wait_us / 1000.0);
+    }
     const RetryPolicy& retry = spec.retry;
     std::string last_error;
     bool committed = false;
@@ -176,37 +275,94 @@ void supervise(SharedState& state, const CampaignSpec& spec,
         std::this_thread::sleep_for(
             std::chrono::milliseconds(retry.backoffDelayMs(attempt - 1)));
       }
-      Attempt a = slot ? slot->run(shard, retry.timeout_ms)
+      if (telemetry != nullptr) {
+        telemetry->attemptStarted(hash, attempt);
+        if (!slot) {
+          telemetry->execStarted(hash, attempt, "inprocess", slot_id);
+        }
+      }
+      const std::uint64_t engine_us_before =
+          prof != nullptr ? counterValue(*prof, "prof/engine/run/total_us")
+                          : 0;
+      const Clock::time_point exec_start = Clock::now();
+      Attempt a = slot ? slot->run(shard, retry.timeout_ms, attempt, prof)
                        : attemptInProcess(shard);
+      const double exec_us = elapsedUs(exec_start);
+      if (prof != nullptr) {
+        obs::recordProfSample(*prof, "campaign//execute", exec_us);
+      }
+      if (telemetry != nullptr && !slot) {
+        const double engine_us =
+            prof != nullptr
+                ? static_cast<double>(
+                      counterValue(*prof, "prof/engine/run/total_us") -
+                      engine_us_before)
+                : -1;
+        telemetry->execFinished(hash, attempt, "inprocess", slot_id,
+                                exec_us / 1000.0, engine_us, shard.trials);
+      }
       if (a.ok && !validateResult(shard, a.result_json, &a.error)) {
         a.ok = false;
       }
       if (a.ok) {
+        const Clock::time_point commit_start = Clock::now();
         store.commitResult(hash, a.result_json);
+        if (prof != nullptr) {
+          obs::recordProfSample(*prof, "campaign//commit",
+                                elapsedUs(commit_start));
+        }
         state.committed_new.fetch_add(1, std::memory_order_relaxed);
         committed = true;
+        if (telemetry != nullptr) {
+          telemetry->shardCommitted(hash, attempt, shard.trials);
+        }
         if (options.verbose) {
-          std::lock_guard<std::mutex> lock(state.io_mutex);
-          std::cerr << "[campaign] " << hash << " ok (" << shard.protocol
-                    << "/" << shard.adversary << " n=" << shard.n
-                    << ", attempt " << attempt << ")\n";
+          std::ostringstream line;
+          line << "[campaign] " << hash << " ok (" << shard.protocol << "/"
+               << shard.adversary << " n=" << shard.n << ", attempt "
+               << attempt << ")";
+          if (telemetry != nullptr) {
+            telemetry->humanLine(line.str());
+          } else {
+            std::lock_guard<std::mutex> lock(state.io_mutex);
+            std::cerr << line.str() << "\n";
+          }
         }
         break;
       }
       state.failed_attempts.fetch_add(1, std::memory_order_relaxed);
       last_error = a.error;
+      if (telemetry != nullptr) {
+        telemetry->attemptFailed(hash, attempt, retry.max_attempts, a.error,
+                                 retry.backoffDelayMs(attempt));
+      }
       {
-        std::lock_guard<std::mutex> lock(state.io_mutex);
-        std::cerr << "[campaign] " << hash << " attempt " << attempt << "/"
-                  << retry.max_attempts << " failed: " << a.error << "\n";
+        std::ostringstream line;
+        line << "[campaign] " << hash << " attempt " << attempt << "/"
+             << retry.max_attempts << " failed: " << a.error;
+        if (telemetry != nullptr) {
+          telemetry->humanLine(line.str());
+        } else {
+          std::lock_guard<std::mutex> lock(state.io_mutex);
+          std::cerr << line.str() << "\n";
+        }
       }
     }
     if (!committed) {
       store.quarantine(hash, last_error, retry.max_attempts);
       state.quarantined.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(state.io_mutex);
-      std::cerr << "[campaign] " << hash << " QUARANTINED after "
-                << retry.max_attempts << " attempts: " << last_error << "\n";
+      if (telemetry != nullptr) {
+        telemetry->shardQuarantined(hash, retry.max_attempts, last_error);
+      }
+      std::ostringstream line;
+      line << "[campaign] " << hash << " QUARANTINED after "
+           << retry.max_attempts << " attempts: " << last_error;
+      if (telemetry != nullptr) {
+        telemetry->humanLine(line.str());
+      } else {
+        std::lock_guard<std::mutex> lock(state.io_mutex);
+        std::cerr << line.str() << "\n";
+      }
     }
     if (options.shard_limit > 0 &&
         state.committed_new.load(std::memory_order_relaxed) >=
@@ -270,14 +426,30 @@ CampaignOutcome runCampaign(const CampaignSpec& spec,
     state.pending.push_back(i);
   }
 
+  // The campaign id is the hash of the same identity string the spec guard
+  // compares, so every resume of one checkpoint dir correlates under one id.
+  std::optional<CampaignTelemetry> telemetry;
+  if (options.telemetry) {
+    telemetry.emplace(store, spec.name, hashHex(fnv1a64(spec_id.str())),
+                      shards.size(), options.workers, options.subprocess);
+    telemetry->campaignStarted(outcome.completed_prior, outcome.quarantined,
+                               state.pending.size());
+    state.telemetry = &*telemetry;
+  }
+  state.run_start = Clock::now();
+
+  std::vector<obs::MetricsRegistry> prof_regs(
+      options.telemetry ? options.workers : 0);
   if (!state.pending.empty()) {
     const unsigned worker_count = std::min<unsigned>(
         options.workers, static_cast<unsigned>(state.pending.size()));
     std::vector<std::thread> threads;
     threads.reserve(worker_count);
     for (unsigned w = 0; w < worker_count; ++w) {
-      threads.emplace_back(
-          [&] { supervise(state, spec, options, store); });
+      threads.emplace_back([&, w] {
+        supervise(state, spec, options, store, static_cast<int>(w),
+                  options.telemetry ? &prof_regs[w] : nullptr);
+      });
     }
     for (std::thread& t : threads) {
       t.join();
@@ -291,8 +463,21 @@ CampaignOutcome runCampaign(const CampaignSpec& spec,
       state.stop.load() && outcome.completed() < outcome.shards_total;
 
   std::ostringstream report;
-  writeReport(spec, store, report);
+  const ReportInfo report_info = writeReport(spec, store, report);
   store.writeFile("report.json", report.str());
+
+  if (telemetry) {
+    obs::MetricsRegistry merged;
+    for (const obs::MetricsRegistry& r : prof_regs) {
+      merged.mergeFrom(r);
+    }
+    obs::recordProfSample(merged, "campaign//run",
+                          elapsedUs(state.run_start));
+    telemetry->writeSchedulerProfile(merged);
+    telemetry->campaignFinished(outcome.completed(), outcome.quarantined,
+                                outcome.failed_attempts, report_info.trials,
+                                outcome.stopped_early);
+  }
   return outcome;
 }
 

@@ -1,6 +1,7 @@
 #include "campaign/shard_exec.h"
 
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -14,6 +15,7 @@
 #include "net/graph.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "protocols/cflood.h"
 #include "protocols/consensus_known_d.h"
 #include "protocols/consensus_via_leader.h"
@@ -192,7 +194,11 @@ ShardResult ShardResult::parseJson(const std::string& text) {
   return result;
 }
 
-ShardResult runShard(const ShardConfig& shard) {
+ShardResult runShard(const ShardConfig& shard, obs::MetricsRegistry* prof) {
+  std::optional<obs::ProfScope> prof_scope;
+  if (prof != nullptr) {
+    prof_scope.emplace(prof);
+  }
   const bool faulty = !faults::FaultPlan(shard.n, shard.fault.config, 0).zero();
   // Sequential within the shard: campaigns parallelize across shards (and
   // across worker processes), and sequential trials keep worker memory flat.

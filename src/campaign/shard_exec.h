@@ -20,6 +20,10 @@
 #include "sim/adversary.h"
 #include "sim/process.h"
 
+namespace dynet::obs {
+class MetricsRegistry;
+}  // namespace dynet::obs
+
 namespace dynet::campaign {
 
 /// The CLI-visible zoo (same names and construction as tools/dynet_cli).
@@ -53,6 +57,11 @@ struct ShardResult {
 /// Runs every trial of the shard (sequentially, workspace-pooled) and
 /// collects the standard metric set: rounds, all_done, messages, bits,
 /// max_bits_per_node, plus fault counters when the shard has a fault plan.
-ShardResult runShard(const ShardConfig& shard);
+/// When `prof` is non-null a DYNET_PROF registry is installed for the
+/// duration, so engine-level timers (prof/engine/run/...) accumulate there;
+/// null leaves the calling thread's prof scope untouched.  Profiling never
+/// feeds the result — the ShardResult stays a pure function of the config.
+ShardResult runShard(const ShardConfig& shard,
+                     obs::MetricsRegistry* prof = nullptr);
 
 }  // namespace dynet::campaign

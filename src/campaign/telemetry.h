@@ -1,0 +1,159 @@
+// Campaign telemetry: structured event stream + live status snapshots +
+// scheduler self-profiling, layered beside (never inside) the checkpoint
+// store's determinism contracts.
+//
+// Three artifacts land in the campaign's checkpoint directory when
+// telemetry is enabled (CampaignOptions::telemetry, the default):
+//
+//   events.jsonl            append-only typed event stream (obs::EventWriter:
+//                           O_APPEND + whole-line writes, torn tail repaired
+//                           on resume, seq contiguous across interruptions)
+//   status.json             atomically-committed snapshot of campaign state,
+//                           rewritten on every state transition — what
+//                           `dynet_cli --campaign-status` renders
+//   scheduler_profile.json  metrics.json-schema profile of where supervisor
+//                           time went (campaign//<stage>/... samples plus
+//                           any prof/ timers from in-process execution),
+//                           diffable with dynet_stats
+//
+// Correlation chain: every event carries the campaign id (the hex FNV-1a of
+// the spec identity — the same string the spec.json guard compares), shard
+// events carry the shard's content hash, and attempt-scoped events carry
+// the 1-based attempt number.  Worker subprocesses emit their own
+// shard_exec_* events over the stdout JSON-lines protocol; the supervisor
+// re-emits them here with slot/attempt context so one stream covers
+// in-process and subprocess execution identically.
+//
+// CampaignTelemetry also owns the single human-output writer: every
+// progress line — the scheduler's and lines drained from worker stderr
+// pipes — goes through humanLine(), which writes whole lines under one
+// mutex, so concurrent supervisors and chatty workers can no longer
+// interleave mid-line.
+//
+// report.json stays byte-identical with telemetry on or off: nothing here
+// touches it.  status.json's terminal counts match the merged report;
+// its timestamps and throughput fields are wall-clock (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <sys/types.h>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace dynet::campaign {
+
+class CheckpointStore;
+
+class CampaignTelemetry {
+ public:
+  /// Opens (or resumes) `<store dir>/events.jsonl`.  `campaign_id` is the
+  /// spec-identity hash; `shards_total` the full expansion size.
+  CampaignTelemetry(CheckpointStore& store, std::string campaign_name,
+                    std::string campaign_id, std::size_t shards_total,
+                    unsigned workers, bool subprocess);
+  ~CampaignTelemetry();
+  CampaignTelemetry(const CampaignTelemetry&) = delete;
+  CampaignTelemetry& operator=(const CampaignTelemetry&) = delete;
+
+  const std::string& campaignId() const { return campaign_id_; }
+
+  // -- campaign span ------------------------------------------------------
+  void campaignStarted(std::size_t completed_prior,
+                       std::size_t quarantined_prior, std::size_t pending);
+  /// `trials_total` is the merged report's trial count (all committed
+  /// shards, prior runs included), so the terminal snapshot agrees with
+  /// report.json even after resumes.
+  void campaignFinished(std::size_t completed, std::size_t quarantined,
+                        std::size_t failed_attempts, std::size_t trials_total,
+                        bool stopped_early);
+
+  // -- shard / attempt transitions ---------------------------------------
+  void shardClaimed(const std::string& hash, std::size_t index,
+                    double queue_wait_ms);
+  void attemptStarted(const std::string& hash, int attempt);
+  /// Execution span around one attempt.  `origin` is "inprocess" or
+  /// "worker"; `slot` is the supervisor slot (worker events carry the slot
+  /// whose subprocess produced them).  `engine_us` < 0 means unknown.
+  void execStarted(const std::string& hash, int attempt,
+                   const std::string& origin, int slot);
+  void execFinished(const std::string& hash, int attempt,
+                    const std::string& origin, int slot, double exec_ms,
+                    double engine_us, int trials);
+  void attemptFailed(const std::string& hash, int attempt, int max_attempts,
+                     const std::string& error, int backoff_ms);
+  void shardCommitted(const std::string& hash, int attempt, int trials);
+  void shardQuarantined(const std::string& hash, int attempts,
+                        const std::string& error);
+
+  // -- worker lifecycle ---------------------------------------------------
+  void workerSpawned(int slot, pid_t pid, double spawn_ms);
+  void workerExited(int slot, pid_t pid, int status,
+                    const std::string& reason);
+  /// Re-emits one worker-emitted event line (a stdout line starting with
+  /// `{"dynet_event"`) with campaign/slot/attempt context attached.
+  /// Malformed lines are surfaced via humanLine instead of thrown.
+  void workerEvent(int slot, int attempt, const std::string& line);
+  /// One complete line drained from a worker's piped stderr: re-printed
+  /// through the single writer and recorded as a worker_stderr event.
+  void workerStderr(int slot, const std::string& line);
+
+  // -- human output (single writer) --------------------------------------
+  /// Writes `line` + '\n' to stderr as one serialized whole-line write.
+  void humanLine(const std::string& line);
+
+  // -- scheduler self-profile --------------------------------------------
+  /// Writes `<store dir>/scheduler_profile.json` from the merged
+  /// per-supervisor registries (campaign//<stage> samples, prof/ timers).
+  void writeSchedulerProfile(const obs::MetricsRegistry& merged);
+
+ private:
+  enum class ShardState { kRunning, kRetrying, kDone, kQuarantined };
+  struct ShardNote {
+    ShardState state = ShardState::kRunning;
+    int attempts = 1;
+    std::string last_error;
+  };
+
+  obs::Event event(const std::string& type) const;
+  /// Serializes current counts into status.json and commits it atomically.
+  /// Caller holds mutex_.
+  void writeStatusLocked(const std::string& state);
+  std::string renderStatusLocked(const std::string& state) const;
+
+  CheckpointStore& store_;
+  const std::string name_;
+  const std::string campaign_id_;
+  const std::size_t shards_total_;
+  const unsigned workers_;
+  const bool subprocess_;
+
+  obs::EventWriter events_;
+
+  std::mutex mutex_;  // guards counts_/notes_/status writes
+  std::mutex io_mutex_;  // guards the stderr line writer (after mutex_)
+
+  // State counts; done_ includes completed_prior.
+  std::size_t done_ = 0;
+  std::size_t completed_prior_ = 0;
+  std::size_t running_ = 0;
+  std::size_t retrying_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t quarantined_ = 0;
+  std::size_t failed_attempts_ = 0;
+  std::size_t trials_done_ = 0;      // trials committed by this run
+  std::size_t done_new_ = 0;         // shards committed by this run
+  std::int64_t started_ms_ = 0;      // wall clock at campaignStarted
+  double started_mono_ms_ = 0;       // steady clock at campaignStarted
+
+  /// Shards worth a second look: currently running/retrying/quarantined,
+  /// or finished only after retries.  Bounded by the in-flight set plus
+  /// the (rare) flaky/quarantined shards, never O(shards_total).
+  std::map<std::string, ShardNote> notes_;
+};
+
+}  // namespace dynet::campaign

@@ -1,6 +1,7 @@
 #include "campaign/worker.h"
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -12,7 +13,9 @@
 
 #include "campaign/shard_exec.h"
 #include "campaign/spec.h"
+#include "obs/events.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace dynet::campaign {
 
@@ -50,8 +53,9 @@ void applySabotage(const ShardConfig& shard) {
 
 }  // namespace
 
-int workerMain(std::istream& in, std::ostream& out) {
+int workerMain(std::istream& in, std::ostream& out, bool emit_events) {
   std::string line;
+  std::uint64_t seq = 0;
   while (std::getline(in, line)) {
     if (line.empty()) {
       continue;
@@ -61,8 +65,32 @@ int workerMain(std::istream& in, std::ostream& out) {
     // supervisor turns it into a strike.
     const ShardConfig shard = parseShardConfig(obs::Json::parse(line));
     applySabotage(shard);
-    const ShardResult result = runShard(shard);
-    out << result.toJson() << "\n" << std::flush;
+    if (!emit_events) {
+      const ShardResult result = runShard(shard);
+      out << result.toJson() << "\n" << std::flush;
+      continue;
+    }
+    const std::string hash = shard.hash();
+    out << obs::Event("shard_exec_started").str("shard", hash).serialize(seq++)
+        << "\n"
+        << std::flush;  // flushed so the supervisor sees the span open live
+    obs::MetricsRegistry prof;
+    const auto start = std::chrono::steady_clock::now();
+    const ShardResult result = runShard(shard, &prof);
+    const double exec_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    obs::Event finished("shard_exec_finished");
+    finished.str("shard", hash).num("exec_ms", exec_ms);
+    const auto engine_us = prof.counters().find("prof/engine/run/total_us");
+    if (engine_us != prof.counters().end()) {
+      finished.num("engine_us",
+                   static_cast<double>(engine_us->second.value));
+    }
+    finished.num("trials", result.trials);
+    out << finished.serialize(seq++) << "\n"
+        << result.toJson() << "\n"
+        << std::flush;
   }
   return 0;
 }

@@ -13,6 +13,17 @@
 // resulting EOF as a strike.  Sabotage hooks ("crash", "hang",
 // "crash_once") are honored here so tests can exercise the supervision
 // ladder with real processes.
+//
+// With `emit_events` (the supervisor passes `--emit-events` when campaign
+// telemetry is on) the worker interleaves structured event lines — JSON
+// objects starting with `{"dynet_event"` — into its stdout stream:
+// shard_exec_started before running a shard and shard_exec_finished (with
+// exec_ms / engine_us / trials) after, each flushed immediately.  The
+// supervisor recognizes the prefix, re-emits the events into the
+// campaign's events.jsonl with slot/attempt context, and still treats the
+// first non-event line as the shard result — so the result protocol is
+// unchanged and pre-telemetry supervisors keep working against workers
+// that never see the flag.
 #pragma once
 
 #include <iosfwd>
@@ -20,6 +31,6 @@
 namespace dynet::campaign {
 
 /// Runs the worker loop until EOF on `in`.  Returns the process exit code.
-int workerMain(std::istream& in, std::ostream& out);
+int workerMain(std::istream& in, std::ostream& out, bool emit_events = false);
 
 }  // namespace dynet::campaign

@@ -10,8 +10,6 @@
 
 namespace dynet::obs {
 
-namespace {
-
 void writeJsonString(std::ostream& out, const std::string& s) {
   out << '"';
   for (const char c : s) {
@@ -40,6 +38,8 @@ void writeJsonString(std::ostream& out, const std::string& s) {
   }
   out << '"';
 }
+
+namespace {
 
 void writeNumberArray(std::ostream& out, const std::vector<double>& values) {
   out << '[';
@@ -86,6 +86,24 @@ void Histogram::observe(double x) {
   }
   ++count_;
   sum_ += x;
+}
+
+void Histogram::merge(const Histogram& other) {
+  DYNET_CHECK(upper_bounds_ == other.upper_bounds_)
+      << "cannot merge histograms with different bucket bounds";
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (count_ == 0 || other.max_ > max_) {
+      max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
 }
 
 double Histogram::min() const {
@@ -151,6 +169,29 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
 
 Series* MetricsRegistry::series(const std::string& name) {
   return &series_[name];
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].value += c.value;
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].value = g.value;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+  for (const auto& [name, s] : other.series_) {
+    Series& mine = series_[name];
+    for (const double v : s.values()) {
+      mine.append(v);
+    }
+  }
 }
 
 bool MetricsRegistry::empty() const {

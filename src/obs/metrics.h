@@ -54,6 +54,11 @@ class Histogram {
 
   void observe(double x);
 
+  /// Adds `other`'s samples to this histogram.  Both must have identical
+  /// bucket bounds (merging across threads that used the same bucket
+  /// ladder, e.g. profBucketsUs); mismatched bounds throw.
+  void merge(const Histogram& other);
+
   const std::vector<double>& upperBounds() const { return upper_bounds_; }
   /// Size upperBounds().size() + 1; the last entry is the overflow bucket.
   const std::vector<std::uint64_t>& bucketCounts() const { return counts_; }
@@ -102,6 +107,12 @@ class MetricsRegistry {
                        std::vector<double> upper_bounds);
   Series* series(const std::string& name);
 
+  /// Folds `other` into this registry: counters add, gauges take `other`'s
+  /// value, histograms merge (identical bounds required), series append.
+  /// Used to combine per-thread registries (e.g. the campaign scheduler's
+  /// supervisor threads) into one exportable profile.
+  void mergeFrom(const MetricsRegistry& other);
+
   bool empty() const;
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
@@ -130,5 +141,9 @@ std::vector<double> profBucketsUs();
 /// Writes a double so that parsing it back yields the same value, as an
 /// integer literal when exact (shared by metrics and trace emitters).
 void writeJsonNumber(std::ostream& out, double v);
+
+/// Writes `s` as a quoted, escaped JSON string literal (shared by the
+/// metrics, trace, and event emitters).
+void writeJsonString(std::ostream& out, const std::string& s);
 
 }  // namespace dynet::obs

@@ -17,6 +17,14 @@ ProfScope::ProfScope(MetricsRegistry* registry) : prev_(g_prof_registry) {
 
 ProfScope::~ProfScope() { g_prof_registry = prev_; }
 
+void recordProfSample(MetricsRegistry& registry, const std::string& prefix,
+                      double us) {
+  registry.counter(prefix + "/calls")->inc();
+  registry.counter(prefix + "/total_us")
+      ->inc(static_cast<std::uint64_t>(std::llround(us)));
+  registry.histogram(prefix + "/us", profBucketsUs())->observe(us);
+}
+
 ProfTimer::~ProfTimer() {
   if (registry_ == nullptr) {
     return;
@@ -24,11 +32,7 @@ ProfTimer::~ProfTimer() {
   const double us = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - start_)
                         .count();
-  const std::string prefix = std::string("prof/") + label_;
-  registry_->counter(prefix + "/calls")->inc();
-  registry_->counter(prefix + "/total_us")
-      ->inc(static_cast<std::uint64_t>(std::llround(us)));
-  registry_->histogram(prefix + "/us", profBucketsUs())->observe(us);
+  recordProfSample(*registry_, std::string("prof/") + label_, us);
 }
 
 }  // namespace dynet::obs

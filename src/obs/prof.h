@@ -25,6 +25,14 @@ namespace dynet::obs {
 /// The registry DYNET_PROF timers on this thread record into (may be null).
 MetricsRegistry* profRegistry();
 
+/// Records one duration sample in the DYNET_PROF metric shape —
+/// `<prefix>/calls` and `<prefix>/total_us` counters plus a `<prefix>/us`
+/// histogram (profBucketsUs).  ProfTimer uses it with `prof/<label>`; the
+/// campaign scheduler uses it directly for its `campaign//<stage>` timing
+/// attribution so both kinds of profile read identically in metrics.json.
+void recordProfSample(MetricsRegistry& registry, const std::string& prefix,
+                      double us);
+
 /// RAII install/restore of the current thread's prof registry.
 class ProfScope {
  public:

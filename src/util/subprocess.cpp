@@ -23,15 +23,25 @@ void closeFd(int& fd) {
 
 }  // namespace
 
-Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
+                             bool pipe_stderr) {
   DYNET_CHECK(!argv.empty()) << "empty argv";
   int to_child[2];   // parent writes -> child stdin
   int from_child[2]; // child stdout -> parent reads
+  int err_child[2] = {-1, -1};  // child stderr -> parent reads (optional)
   DYNET_CHECK(::pipe(to_child) == 0) << "pipe: " << std::strerror(errno);
   if (::pipe(from_child) != 0) {
     const int err = errno;
     ::close(to_child[0]);
     ::close(to_child[1]);
+    DYNET_CHECK(false) << "pipe: " << std::strerror(err);
+  }
+  if (pipe_stderr && ::pipe(err_child) != 0) {
+    const int err = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
     DYNET_CHECK(false) << "pipe: " << std::strerror(err);
   }
   const pid_t pid = ::fork();
@@ -41,12 +51,21 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
     ::close(to_child[1]);
     ::close(from_child[0]);
     ::close(from_child[1]);
+    if (pipe_stderr) {
+      ::close(err_child[0]);
+      ::close(err_child[1]);
+    }
     DYNET_CHECK(false) << "fork: " << std::strerror(err);
   }
   if (pid == 0) {
     // Child: wire the pipe ends onto stdin/stdout, drop everything else.
     ::dup2(to_child[0], STDIN_FILENO);
     ::dup2(from_child[1], STDOUT_FILENO);
+    if (pipe_stderr) {
+      ::dup2(err_child[1], STDERR_FILENO);
+      ::close(err_child[0]);
+      ::close(err_child[1]);
+    }
     ::close(to_child[0]);
     ::close(to_child[1]);
     ::close(from_child[0]);
@@ -67,6 +86,10 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
   p.stdout_fd_ = from_child[0];
   ::close(to_child[0]);
   ::close(from_child[1]);
+  if (pipe_stderr) {
+    p.stderr_fd_ = err_child[0];
+    ::close(err_child[1]);
+  }
   return p;
 }
 
@@ -74,7 +97,9 @@ Subprocess::Subprocess(Subprocess&& other) noexcept
     : pid_(std::exchange(other.pid_, -1)),
       stdin_fd_(std::exchange(other.stdin_fd_, -1)),
       stdout_fd_(std::exchange(other.stdout_fd_, -1)),
+      stderr_fd_(std::exchange(other.stderr_fd_, -1)),
       buffer_(std::move(other.buffer_)),
+      stderr_buffer_(std::move(other.stderr_buffer_)),
       reaped_(other.reaped_),
       exit_status_(other.exit_status_) {}
 
@@ -85,6 +110,7 @@ Subprocess::~Subprocess() {
   }
   closeFd(stdin_fd_);
   closeFd(stdout_fd_);
+  closeFd(stderr_fd_);
 }
 
 bool Subprocess::writeLine(const std::string& line) {
@@ -126,10 +152,14 @@ Subprocess::ReadStatus Subprocess::readLine(std::string* out, int timeout_ms) {
     if (stdout_fd_ < 0) {
       return ReadStatus::kEof;
     }
-    struct pollfd pfd {
-      stdout_fd_, POLLIN, 0
-    };
-    const int ready = ::poll(&pfd, 1, timeout_ms);
+    struct pollfd pfds[2];
+    pfds[0] = {stdout_fd_, POLLIN, 0};
+    nfds_t nfds = 1;
+    if (stderr_fd_ >= 0) {
+      pfds[1] = {stderr_fd_, POLLIN, 0};
+      nfds = 2;
+    }
+    const int ready = ::poll(pfds, nfds, timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) {
         continue;
@@ -138,6 +168,14 @@ Subprocess::ReadStatus Subprocess::readLine(std::string* out, int timeout_ms) {
     }
     if (ready == 0) {
       return ReadStatus::kTimeout;
+    }
+    if (nfds == 2 && (pfds[1].revents & (POLLIN | POLLHUP)) != 0) {
+      pumpStderr();
+      if ((pfds[0].revents & (POLLIN | POLLHUP)) == 0) {
+        // Only stderr had data; poll again so a stdout timeout still means
+        // "no result line", not "the worker was chatty on stderr".
+        continue;
+      }
     }
     char chunk[4096];
     const ssize_t n = ::read(stdout_fd_, chunk, sizeof chunk);
@@ -152,6 +190,47 @@ Subprocess::ReadStatus Subprocess::readLine(std::string* out, int timeout_ms) {
       return ReadStatus::kEof;
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Subprocess::pumpStderr() {
+  if (stderr_fd_ < 0) {
+    return;
+  }
+  char chunk[4096];
+  for (;;) {
+    struct pollfd pfd {
+      stderr_fd_, POLLIN, 0
+    };
+    const int ready = ::poll(&pfd, 1, 0);
+    if (ready <= 0) {
+      return;
+    }
+    const ssize_t n = ::read(stderr_fd_, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      // EOF (or error): stop watching the fd; buffered data stays drainable.
+      closeFd(stderr_fd_);
+      return;
+    }
+    stderr_buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Subprocess::drainStderrLines(std::vector<std::string>* out) {
+  pumpStderr();
+  std::size_t nl;
+  while ((nl = stderr_buffer_.find('\n')) != std::string::npos) {
+    out->emplace_back(stderr_buffer_, 0, nl);
+    stderr_buffer_.erase(0, nl + 1);
+  }
+  if (stderr_fd_ < 0 && !stderr_buffer_.empty()) {
+    // Child is gone and left an unterminated final line; surface it rather
+    // than losing the tail of a crash message.
+    out->push_back(stderr_buffer_);
+    stderr_buffer_.clear();
   }
 }
 

@@ -22,10 +22,16 @@ class Subprocess {
  public:
   /// Spawns argv[0] with `argv` as its argument vector (argv[0] is the
   /// executable path; no shell, no PATH search).  stdin/stdout are piped;
-  /// stderr passes through to the parent's stderr so worker diagnostics
-  /// stay visible.  Throws util::CheckError when the pipes or fork fail;
-  /// an exec failure surfaces as immediate child exit 127.
-  static Subprocess spawn(const std::vector<std::string>& argv);
+  /// by default stderr passes through to the parent's stderr so worker
+  /// diagnostics stay visible.  With `pipe_stderr` the child's stderr is
+  /// piped too (drain it via drainStderrLines) so a supervisor can re-emit
+  /// complete lines through a single writer instead of letting children
+  /// interleave mid-line — the caller then owns keeping the pipe drained
+  /// (readLine drains it opportunistically while waiting on stdout).
+  /// Throws util::CheckError when the pipes or fork fail; an exec failure
+  /// surfaces as immediate child exit 127.
+  static Subprocess spawn(const std::vector<std::string>& argv,
+                          bool pipe_stderr = false);
 
   Subprocess(Subprocess&& other) noexcept;
   Subprocess& operator=(Subprocess&&) = delete;
@@ -49,8 +55,16 @@ class Subprocess {
 
   /// Reads one '\n'-terminated line from the child's stdout, waiting at
   /// most `timeout_ms` (< 0 = wait forever).  On kTimeout the child is
-  /// still running and the partial data stays buffered.
+  /// still running and the partial data stays buffered.  When stderr is
+  /// piped it is drained into the internal buffer while waiting, so a
+  /// chatty child can't fill the pipe and deadlock against us.
   ReadStatus readLine(std::string* out, int timeout_ms);
+
+  /// Moves every complete stderr line received so far into `out`
+  /// (newlines stripped).  Non-blocking; partial trailing data stays
+  /// buffered until its newline arrives or the child exits.  No-op unless
+  /// spawned with pipe_stderr.
+  void drainStderrLines(std::vector<std::string>* out);
 
   /// SIGKILLs the child (no-op if already reaped).
   void kill();
@@ -67,10 +81,14 @@ class Subprocess {
  private:
   Subprocess() = default;
 
+  void pumpStderr();  // non-blocking read into stderr_buffer_
+
   pid_t pid_ = -1;
   int stdin_fd_ = -1;
   int stdout_fd_ = -1;
-  std::string buffer_;   // bytes read past the last returned line
+  int stderr_fd_ = -1;      // -1 unless spawned with pipe_stderr
+  std::string buffer_;        // stdout bytes past the last returned line
+  std::string stderr_buffer_;  // stderr bytes past the last drained line
   bool reaped_ = false;
   int exit_status_ = 0;  // valid once reaped_
 };

@@ -13,8 +13,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "campaign/scheduler.h"
 #include "campaign/shard_exec.h"
@@ -419,6 +421,295 @@ TEST(Campaign, FlakyWorkerSucceedsOnRetry) {
   EXPECT_EQ(outcome.failed_attempts, 1u);  // exactly one strike, then done
   EXPECT_TRUE(fs::exists(marker));
   fs::remove(marker);
+}
+
+// ---------------------------------------------------------------- telemetry
+
+std::vector<obs::Json> readEvents(const std::string& dir) {
+  std::ifstream in(dir + "/events.jsonl");
+  EXPECT_TRUE(in.good()) << "no events.jsonl in " << dir;
+  std::vector<obs::Json> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    events.push_back(obs::Json::parse(line));
+  }
+  return events;
+}
+
+obs::Json readStatus(const std::string& dir) {
+  std::ifstream in(dir + "/status.json");
+  EXPECT_TRUE(in.good()) << "no status.json in " << dir;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return obs::Json::parse(buf.str());
+}
+
+TEST(Telemetry, EventStreamCoversInProcessCampaign) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("telemetry_events");
+  options.workers = 3;
+  ASSERT_TRUE(runCampaign(spec, options).fullCoverage());
+
+  const std::vector<obs::Json> events = readEvents(options.checkpoint_dir);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().at("type").str(), "campaign_started");
+  EXPECT_EQ(events.back().at("type").str(), "campaign_finished");
+  EXPECT_TRUE(events.back().at("full_coverage").boolean());
+
+  // Correlation: one campaign id on every record, seq contiguous from 0.
+  const std::string campaign_id = events.front().at("campaign").str();
+  EXPECT_EQ(campaign_id.size(), 16u);  // hex fnv1a of the spec identity
+  std::set<std::string> committed;
+  std::set<std::string> exec_started;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::Json& e = events[i];
+    EXPECT_EQ(e.at("campaign").str(), campaign_id);
+    EXPECT_EQ(e.at("seq").number(), static_cast<double>(i));
+    if (e.at("type").str() == "shard_committed") {
+      EXPECT_TRUE(committed.insert(e.at("shard").str()).second)
+          << "duplicate shard_committed for " << e.at("shard").str();
+      EXPECT_EQ(e.at("attempt").number(), 1);
+      EXPECT_EQ(e.at("trials").number(), 2);
+    }
+    if (e.at("type").str() == "shard_exec_started") {
+      EXPECT_EQ(e.at("origin").str(), "inprocess");
+      exec_started.insert(e.at("shard").str());
+    }
+  }
+  std::set<std::string> expected;
+  for (const ShardConfig& shard : spec.expandShards()) {
+    expected.insert(shard.hash());
+  }
+  EXPECT_EQ(committed, expected);
+  EXPECT_EQ(exec_started, expected);
+}
+
+TEST(Telemetry, StatusMatchesReportAcrossInterruptAndResume) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions partial;
+  partial.checkpoint_dir = freshDir("telemetry_resume");
+  partial.workers = 1;
+  partial.shard_limit = 3;
+  const CampaignOutcome first = runCampaign(spec, partial);
+  ASSERT_TRUE(first.stopped_early);
+
+  const obs::Json mid = readStatus(partial.checkpoint_dir);
+  EXPECT_EQ(mid.at("state").str(), "stopped_early");
+  EXPECT_EQ(mid.at("done").number(), 3);
+  EXPECT_EQ(mid.at("shards_total").number(), 8);
+
+  CampaignOptions resume;
+  resume.checkpoint_dir = partial.checkpoint_dir;
+  resume.workers = 2;
+  const CampaignOutcome second = runCampaign(spec, resume);
+  ASSERT_TRUE(second.fullCoverage());
+
+  // Terminal snapshot agrees with the merged report.
+  const obs::Json status = readStatus(resume.checkpoint_dir);
+  const obs::Json report =
+      obs::Json::parse(reportOf(resume.checkpoint_dir));
+  EXPECT_EQ(status.at("state").str(), "finished");
+  EXPECT_EQ(status.at("done").number(),
+            report.at("counters").at("campaign/shards_completed").number());
+  EXPECT_EQ(status.at("quarantined").number(),
+            report.at("counters").at("campaign/shards_quarantined").number());
+  EXPECT_EQ(status.at("trials_done").number(),
+            report.at("counters").at("campaign/trials").number());
+  EXPECT_EQ(status.at("running").number(), 0);
+  EXPECT_EQ(status.at("pending").number(), 0);
+
+  // One stream spans both runs: seq contiguous, no duplicate commits, and
+  // the resume's campaign_started credits the prior shards.
+  const std::vector<obs::Json> events = readEvents(resume.checkpoint_dir);
+  std::set<std::string> committed;
+  std::size_t starts = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at("seq").number(), static_cast<double>(i));
+    if (events[i].at("type").str() == "shard_committed") {
+      EXPECT_TRUE(committed.insert(events[i].at("shard").str()).second);
+    }
+    if (events[i].at("type").str() == "campaign_started") {
+      ++starts;
+      EXPECT_EQ(events[i].at("completed_prior").number(),
+                starts == 1 ? 0 : 3);
+    }
+  }
+  EXPECT_EQ(starts, 2u);
+  EXPECT_EQ(committed.size(), 8u);
+}
+
+TEST(Telemetry, TornEventTailIsRepairedOnResume) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions partial;
+  partial.checkpoint_dir = freshDir("telemetry_torn");
+  partial.shard_limit = 2;
+  ASSERT_TRUE(runCampaign(spec, partial).stopped_early);
+  {
+    // Simulate a SIGKILL mid-record: a torn final line without newline.
+    std::ofstream out(partial.checkpoint_dir + "/events.jsonl",
+                      std::ios::app);
+    out << "{\"dynet_event\":1,\"seq\":99999,\"typ";
+  }
+  CampaignOptions resume;
+  resume.checkpoint_dir = partial.checkpoint_dir;
+  ASSERT_TRUE(runCampaign(spec, resume).fullCoverage());
+  const std::vector<obs::Json> events = readEvents(resume.checkpoint_dir);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].at("seq").number(), static_cast<double>(i));
+  }
+}
+
+TEST(Telemetry, SubprocessWorkerEventsPropagateWithSlotContext) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("telemetry_subproc");
+  options.workers = 2;
+  options.subprocess = true;
+  options.worker_cmd = workerCmd();
+  ASSERT_TRUE(runCampaign(spec, options).fullCoverage());
+
+  std::size_t spawned = 0;
+  std::set<std::string> exec_finished;
+  for (const obs::Json& e : readEvents(options.checkpoint_dir)) {
+    const std::string type = e.at("type").str();
+    if (type == "worker_spawned") {
+      ++spawned;
+      EXPECT_GT(e.at("pid").number(), 0);
+      EXPECT_GE(e.at("slot").number(), 0);
+    }
+    if (type == "shard_exec_finished") {
+      EXPECT_EQ(e.at("origin").str(), "worker");
+      EXPECT_GE(e.at("slot").number(), 0);
+      EXPECT_GE(e.at("exec_ms").number(), 0);
+      EXPECT_EQ(e.at("trials").number(), 2);
+      EXPECT_GE(e.at("attempt").number(), 1);
+      exec_finished.insert(e.at("shard").str());
+    }
+  }
+  EXPECT_GE(spawned, 1u);
+  EXPECT_EQ(exec_finished.size(), 8u);
+}
+
+TEST(Telemetry, FlakyShardAttemptHistorySurvivesInStatus) {
+  CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  spec.protocols = {"flood"};
+  spec.adversaries = {"static_path"};
+  spec.seed_count = 1;
+  spec.seeds_per_shard = 1;
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_ms = 1;
+  spec.retry.backoff_max_ms = 2;
+  const std::string marker =
+      ::testing::TempDir() + "telemetry_flaky_marker";
+  fs::remove(marker);
+  ShardFault flaky;
+  flaky.name = "flaky";
+  flaky.sabotage = "crash_once";
+  flaky.sabotage_marker = marker;
+  spec.faults = {flaky};
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("telemetry_flaky");
+  options.subprocess = true;
+  options.worker_cmd = workerCmd();
+  const CampaignOutcome outcome = runCampaign(spec, options);
+  EXPECT_EQ(outcome.completed_new, 1u);
+  fs::remove(marker);
+
+  const std::string hash = spec.expandShards()[0].hash();
+  bool saw_failed = false;
+  bool saw_committed_retry = false;
+  for (const obs::Json& e : readEvents(options.checkpoint_dir)) {
+    if (e.at("type").str() == "attempt_failed") {
+      saw_failed = true;
+      EXPECT_EQ(e.at("shard").str(), hash);
+      EXPECT_EQ(e.at("attempt").number(), 1);
+      EXPECT_TRUE(e.has("backoff_ms"));
+    }
+    if (e.at("type").str() == "shard_committed") {
+      saw_committed_retry = true;
+      EXPECT_EQ(e.at("attempt").number(), 2);
+    }
+  }
+  EXPECT_TRUE(saw_failed);
+  EXPECT_TRUE(saw_committed_retry);
+
+  // The flaky shard stays visible in the snapshot's attention map.
+  const obs::Json status = readStatus(options.checkpoint_dir);
+  const obs::Json& attention = status.at("attention");
+  ASSERT_TRUE(attention.has(hash));
+  EXPECT_EQ(attention.at(hash).at("state").str(), "done");
+  EXPECT_EQ(attention.at(hash).at("attempts").number(), 2);
+}
+
+TEST(Telemetry, OffLeavesNoArtifactsAndIdenticalReport) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions with;
+  with.checkpoint_dir = freshDir("telemetry_on");
+  ASSERT_TRUE(runCampaign(spec, with).fullCoverage());
+
+  CampaignOptions without;
+  without.checkpoint_dir = freshDir("telemetry_off");
+  without.telemetry = false;
+  ASSERT_TRUE(runCampaign(spec, without).fullCoverage());
+
+  EXPECT_FALSE(fs::exists(without.checkpoint_dir + "/events.jsonl"));
+  EXPECT_FALSE(fs::exists(without.checkpoint_dir + "/status.json"));
+  EXPECT_FALSE(
+      fs::exists(without.checkpoint_dir + "/scheduler_profile.json"));
+  EXPECT_EQ(reportOf(with.checkpoint_dir),
+            reportOf(without.checkpoint_dir));
+}
+
+TEST(Telemetry, SchedulerProfileIsValidMetricsJson) {
+  const CampaignSpec spec = CampaignSpec::parse(smallSpecText());
+  CampaignOptions options;
+  options.checkpoint_dir = freshDir("telemetry_profile");
+  options.workers = 2;
+  ASSERT_TRUE(runCampaign(spec, options).fullCoverage());
+
+  std::ifstream in(options.checkpoint_dir + "/scheduler_profile.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const obs::Json profile = obs::Json::parse(buf.str());
+  EXPECT_TRUE(profile.has("dynet_metrics"));
+  const obs::Json& counters = profile.at("counters");
+  EXPECT_EQ(counters.at("campaign//execute/calls").number(), 8);
+  EXPECT_EQ(counters.at("campaign//commit/calls").number(), 8);
+  EXPECT_EQ(counters.at("campaign//queue_wait/calls").number(), 8);
+  EXPECT_EQ(counters.at("campaign//run/calls").number(), 1);
+  EXPECT_TRUE(profile.at("histograms").has("campaign//execute/us"));
+  // In-process execution runs under the supervisor's prof scope, so the
+  // engine's own DYNET_PROF timers land beside the stage samples.
+  EXPECT_TRUE(counters.has("prof/engine/run/calls"));
+}
+
+TEST(Worker, EmitEventsInterleavesEventLinesWithResults) {
+  ShardConfig shard;
+  shard.protocol = "flood";
+  shard.adversary = "static_ring";
+  shard.n = 8;
+  shard.trials = 2;
+  shard.max_rounds = 1000;
+  std::istringstream in(shard.canonicalJson() + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(workerMain(in, out, /*emit_events=*/true), 0);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> kinds;
+  while (std::getline(lines, line)) {
+    if (line.rfind("{\"dynet_event\"", 0) == 0) {
+      kinds.push_back(obs::Json::parse(line).at("type").str());
+      EXPECT_EQ(obs::Json::parse(line).at("shard").str(), shard.hash());
+    } else {
+      kinds.push_back("result");
+      EXPECT_EQ(ShardResult::parseJson(line).hash, shard.hash());
+    }
+  }
+  EXPECT_EQ(kinds,
+            (std::vector<std::string>{"shard_exec_started",
+                                      "shard_exec_finished", "result"}));
 }
 
 TEST(Worker, RunsShardsFromStreamUntilEof) {

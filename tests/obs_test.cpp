@@ -6,14 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "adversary/churn_adversaries.h"
 #include "adversary/dynamic_adversaries.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
+#include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
@@ -176,6 +180,156 @@ TEST(TraceEvents, BufferCapCountsDropped) {
 }
 
 // -------------------------------------------------------------- profiling
+
+TEST(Metrics, HistogramMergeAddsSamplesAndFoldsStats) {
+  const std::vector<double> bounds = {1, 10, 100};
+  obs::Histogram a(bounds);
+  obs::Histogram b(bounds);
+  a.observe(0.5);
+  a.observe(50);
+  b.observe(5);
+  b.observe(500);  // overflow bucket
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 500);
+  EXPECT_EQ(a.bucketCounts(), (std::vector<std::uint64_t>{1, 1, 1, 1}));
+  // Merging an empty histogram must not corrupt min/max.
+  a.merge(obs::Histogram(bounds));
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_EQ(a.count(), 4u);
+  obs::Histogram mismatched(std::vector<double>{1, 2});
+  EXPECT_THROW(a.merge(mismatched), util::CheckError);
+}
+
+TEST(Metrics, MergeFromCombinesPerThreadRegistries) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("c")->inc(2);
+  b.counter("c")->inc(3);
+  b.counter("only_b")->inc(1);
+  a.gauge("g")->set(1);
+  b.gauge("g")->set(7);
+  a.histogram("h", {10, 100})->observe(5);
+  b.histogram("h", {10, 100})->observe(50);
+  a.series("s")->append(1);
+  b.series("s")->append(2);
+  a.mergeFrom(b);
+  EXPECT_EQ(a.counters().at("c").value, 5u);
+  EXPECT_EQ(a.counters().at("only_b").value, 1u);
+  EXPECT_DOUBLE_EQ(a.gauges().at("g").value, 7);  // last write wins
+  EXPECT_EQ(a.histograms().at("h").count(), 2u);
+  EXPECT_EQ(a.allSeries().at("s").values(),
+            (std::vector<double>{1, 2}));
+}
+
+// ------------------------------------------------------------ event stream
+
+TEST(Events, SerializeIsOrderedTypedJson) {
+  obs::Event e("unit_test");
+  e.str("name", "a \"b\"\n").num("count", 3).boolean("flag", true);
+  const std::string line = e.serialize(7, 1234);
+  EXPECT_EQ(line,
+            "{\"dynet_event\":1,\"seq\":7,\"ts_ms\":1234,"
+            "\"type\":\"unit_test\",\"name\":\"a \\\"b\\\"\\n\","
+            "\"count\":3,\"flag\":true}");
+  const obs::Json parsed = obs::Json::parse(line);
+  EXPECT_EQ(parsed.at("seq").number(), 7);
+  EXPECT_EQ(parsed.at("type").str(), "unit_test");
+  EXPECT_TRUE(parsed.at("flag").boolean());
+}
+
+TEST(Events, WriterAppendsAndContinuesSeqAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "events_reopen.jsonl";
+  std::filesystem::remove(path);
+  {
+    obs::EventWriter writer(path);
+    EXPECT_EQ(writer.emit(obs::Event("a")), 0u);
+    EXPECT_EQ(writer.emit(obs::Event("b")), 1u);
+  }
+  {
+    obs::EventWriter writer(path);
+    EXPECT_EQ(writer.nextSeq(), 2u);  // continues from surviving lines
+    EXPECT_EQ(writer.emit(obs::Event("c")), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::uint64_t expect_seq = 0;
+  while (std::getline(in, line)) {
+    const obs::Json parsed = obs::Json::parse(line);
+    EXPECT_EQ(parsed.at("dynet_event").number(), 1);
+    EXPECT_EQ(parsed.at("seq").number(), static_cast<double>(expect_seq));
+    ++expect_seq;
+  }
+  EXPECT_EQ(expect_seq, 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(Events, WriterRepairsTornTailOnReopen) {
+  const std::string path = ::testing::TempDir() + "events_torn.jsonl";
+  std::filesystem::remove(path);
+  {
+    obs::EventWriter writer(path);
+    writer.emit(obs::Event("a"));
+    writer.emit(obs::Event("b"));
+  }
+  {
+    // A writer SIGKILLed mid-record leaves a line without its newline.
+    std::ofstream out(path, std::ios::app);
+    out << "{\"dynet_event\":1,\"seq\":2,\"ty";
+  }
+  {
+    obs::EventWriter writer(path);
+    EXPECT_EQ(writer.nextSeq(), 2u);  // torn record dropped, not counted
+    writer.emit(obs::Event("c"));
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> types;
+  while (std::getline(in, line)) {
+    types.push_back(obs::Json::parse(line).at("type").str());
+  }
+  EXPECT_EQ(types, (std::vector<std::string>{"a", "b", "c"}));
+  std::filesystem::remove(path);
+}
+
+TEST(Events, WriterIsThreadSafeAndAssignsUniqueSeqs) {
+  std::string sink;
+  obs::EventWriter writer(&sink);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&writer] {
+      for (int i = 0; i < 50; ++i) {
+        writer.emit(obs::Event("tick"));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  std::istringstream lines(sink);
+  std::string line;
+  std::vector<double> seqs;
+  while (std::getline(lines, line)) {
+    seqs.push_back(obs::Json::parse(line).at("seq").number());
+  }
+  EXPECT_EQ(seqs.size(), 200u);
+  std::sort(seqs.begin(), seqs.end());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], static_cast<double>(i));
+  }
+}
+
+TEST(Prof, RecordProfSampleUsesTheTimerShape) {
+  obs::MetricsRegistry registry;
+  obs::recordProfSample(registry, "campaign//execute", 1500.0);
+  obs::recordProfSample(registry, "campaign//execute", 500.0);
+  EXPECT_EQ(registry.counters().at("campaign//execute/calls").value, 2u);
+  EXPECT_EQ(registry.counters().at("campaign//execute/total_us").value,
+            2000u);
+  EXPECT_EQ(registry.histograms().at("campaign//execute/us").count(), 2u);
+}
 
 TEST(Prof, ScopedTimersAggregateIntoRegistry) {
   obs::MetricsRegistry registry;

@@ -10,8 +10,11 @@
 //   $ dynet_cli --campaign spec.json --checkpoint dir [--workers N]
 //               [--isolation inprocess|subprocess] [--report out.json]
 //               [--shard-limit N] [--retry-quarantined] [--verbose]
+//               [--no-telemetry]
 //   $ dynet_cli --campaign-report dir          # re-merge + summarize
-//   $ dynet_cli --worker                       # internal: shard worker loop
+//   $ dynet_cli --campaign-status dir          # render status.json once
+//   $ dynet_cli --campaign-watch dir [--interval-ms N]   # poll until done
+//   $ dynet_cli --worker [--emit-events]       # internal: shard worker loop
 //
 // `--list` prints the valid protocol/adversary names; an unknown name does
 // the same and exits non-zero.  --metrics-out writes the metric catalog of
@@ -20,10 +23,12 @@
 // Perfetto; --trace-jsonl the same events one-per-line.  Campaign modes are
 // documented in docs/CAMPAIGNS.md: exit 0 = full coverage, 3 = incomplete
 // (stopped early or shards quarantined), 1 = hard error.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <unistd.h>
 
 #include "campaign/scheduler.h"
@@ -32,6 +37,7 @@
 #include "campaign/worker.h"
 #include "net/churn.h"
 #include "net/diameter.h"
+#include "obs/json.h"
 #include "obs/prof.h"
 #include "obs/sink.h"
 #include "sim/engine.h"
@@ -91,6 +97,90 @@ void printCampaignSummary(const campaign::CampaignOutcome& outcome,
   std::cout << "report written to " << checkpoint_dir << "/report.json\n";
 }
 
+/// Renders one status.json snapshot.  Returns 0 when the campaign is
+/// running or finished with full coverage, 3 when it finished incomplete,
+/// 1 when there is no snapshot to read.  `running_out` (optional) reports
+/// whether the campaign was still running.
+int renderCampaignStatus(const std::string& dir, bool* running_out) {
+  if (running_out != nullptr) {
+    *running_out = false;
+  }
+  std::ifstream in(dir + "/status.json");
+  if (!in.good()) {
+    std::cerr << "no status.json in " << dir
+              << " (campaign never started there, or ran with "
+                 "--no-telemetry)\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const obs::Json s = obs::Json::parse(buf.str());
+  DYNET_CHECK(s.isObject() && s.has("dynet_campaign_status"))
+      << dir << "/status.json is not a campaign status snapshot";
+  const auto count = [&s](const char* key) {
+    return static_cast<std::int64_t>(s.at(key).number());
+  };
+  const std::string state = s.at("state").str();
+  util::Table table({"field", "value"});
+  table.row().cell("campaign").cell(s.at("campaign").str());
+  table.row().cell("name").cell(s.at("name").str());
+  table.row().cell("state").cell(state);
+  table.row().cell("done").cell(count("done"));
+  table.row().cell("shards total").cell(count("shards_total"));
+  table.row().cell("running").cell(count("running"));
+  table.row().cell("retrying").cell(count("retrying"));
+  table.row().cell("pending").cell(count("pending"));
+  table.row().cell("quarantined").cell(count("quarantined"));
+  table.row().cell("failed attempts").cell(count("failed_attempts"));
+  table.row().cell("trials done").cell(count("trials_done"));
+  if (s.has("shards_per_sec")) {
+    table.row().cell("shards/sec").cell(s.at("shards_per_sec").number(), 3);
+  }
+  if (s.has("trials_per_sec")) {
+    table.row().cell("trials/sec").cell(s.at("trials_per_sec").number(), 3);
+  }
+  if (s.has("eta_ms")) {
+    table.row().cell("eta (s)").cell(s.at("eta_ms").number() / 1000.0, 1);
+  }
+  std::cout << table.toString();
+  const auto& attention = s.at("attention").members();
+  if (!attention.empty()) {
+    util::Table shards({"shard", "state", "attempts", "last error"});
+    for (const auto& [hash, note] : attention) {
+      shards.row()
+          .cell(hash)
+          .cell(note.at("state").str())
+          .cell(static_cast<std::int64_t>(note.at("attempts").number()))
+          .cell(note.has("last_error") ? note.at("last_error").str() : "");
+    }
+    std::cout << "shards needing attention:\n" << shards.toString();
+  }
+  const bool running = state == "running";
+  if (running_out != nullptr) {
+    *running_out = running;
+  }
+  if (running || count("done") == count("shards_total")) {
+    return 0;
+  }
+  return 3;
+}
+
+int runCampaignStatusMode(const std::string& dir, bool watch,
+                          int interval_ms) {
+  if (!watch) {
+    return renderCampaignStatus(dir, nullptr);
+  }
+  for (;;) {
+    bool running = false;
+    const int code = renderCampaignStatus(dir, &running);
+    if (code != 1 && !running) {
+      return code;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    std::cout << "---\n";
+  }
+}
+
 int runCampaignMode(util::Cli& cli, const std::string& spec_path) {
   campaign::CampaignOptions options;
   options.checkpoint_dir = cli.str("checkpoint", "");
@@ -110,6 +200,7 @@ int runCampaignMode(util::Cli& cli, const std::string& spec_path) {
   options.shard_limit = static_cast<int>(cli.integer("shard-limit", 0));
   options.retry_quarantined = cli.flag("retry-quarantined");
   options.verbose = cli.flag("verbose");
+  options.telemetry = !cli.flag("no-telemetry");
   const std::string report_path = cli.str("report", "");
   cli.rejectUnknown();
 
@@ -160,14 +251,27 @@ int runCampaignReportMode(util::Cli& cli, const std::string& checkpoint_dir) {
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
   if (cli.flag("worker")) {
+    const bool emit_events = cli.flag("emit-events");
     cli.rejectUnknown();
-    return campaign::workerMain(std::cin, std::cout);
+    return campaign::workerMain(std::cin, std::cout, emit_events);
   }
   if (cli.has("campaign")) {
     return runCampaignMode(cli, cli.str("campaign", ""));
   }
   if (cli.has("campaign-report")) {
     return runCampaignReportMode(cli, cli.str("campaign-report", ""));
+  }
+  if (cli.has("campaign-status")) {
+    const std::string dir = cli.str("campaign-status", "");
+    cli.rejectUnknown();
+    return runCampaignStatusMode(dir, /*watch=*/false, 0);
+  }
+  if (cli.has("campaign-watch")) {
+    const std::string dir = cli.str("campaign-watch", "");
+    const int interval_ms =
+        static_cast<int>(cli.integer("interval-ms", 1000));
+    cli.rejectUnknown();
+    return runCampaignStatusMode(dir, /*watch=*/true, interval_ms);
   }
   if (cli.flag("list")) {
     printNameList(std::cout, "protocols", campaign::protocolNames());

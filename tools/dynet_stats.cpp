@@ -6,12 +6,16 @@
 //       count / mean / p50 / p95 / p99 / max.
 //
 //   $ dynet_stats --in metrics.json --baseline old_metrics.json
-//       two-run diff: counters and gauges side by side with deltas, plus
+//       two-run diff: counters and gauges side by side with deltas,
+//       histograms (count / mean / p95) side by side — e.g. the campaign
+//       scheduler's campaign// stage timings across two runs — plus
 //       metrics present in only one of the runs.
 //
 // Malformed input (not JSON, wrong schema version) exits 1 with a message.
+#include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -176,6 +180,68 @@ void printScalarDiff(const std::string& section, const obs::Json& current,
   }
 }
 
+/// Diffs the histograms of two runs: count, mean, and p95 side by side.
+/// Wall-clock profiles (prof/, campaign//) never match exactly, so the
+/// diff shows distribution movement instead of raw deltas.
+void printHistogramDiff(const obs::Json& current, const obs::Json& baseline) {
+  const auto& cur = current.at("histograms").members();
+  const auto& base = baseline.at("histograms").members();
+  if (cur.empty() && base.empty()) {
+    return;
+  }
+  const auto pair = [](const obs::Json* b, const obs::Json* c,
+                       double (*stat)(const obs::Json&)) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(2);
+    if (b == nullptr) {
+      out << "-";
+    } else {
+      out << stat(*b);
+    }
+    out << " / ";
+    if (c == nullptr) {
+      out << "-";
+    } else {
+      out << stat(*c);
+    }
+    return out.str();
+  };
+  const auto statCount = [](const obs::Json& h) {
+    return h.at("count").number();
+  };
+  const auto statMean = [](const obs::Json& h) {
+    const double count = h.at("count").number();
+    return count > 0 ? h.at("sum").number() / count : 0.0;
+  };
+  const auto statP95 = [](const obs::Json& h) {
+    return histogramPercentile(h, 0.95);
+  };
+  std::vector<std::string> names;
+  for (const auto& [name, h] : cur) {
+    names.push_back(name);
+  }
+  for (const auto& [name, h] : base) {
+    if (cur.find(name) == cur.end()) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  util::Table table({"histogram", "count (base/cur)", "mean (base/cur)",
+                     "p95 (base/cur)"});
+  for (const std::string& name : names) {
+    const auto ci = cur.find(name);
+    const auto bi = base.find(name);
+    const obs::Json* c = ci == cur.end() ? nullptr : &ci->second;
+    const obs::Json* b = bi == base.end() ? nullptr : &bi->second;
+    table.row()
+        .cell(name)
+        .cell(pair(b, c, statCount))
+        .cell(pair(b, c, statMean))
+        .cell(pair(b, c, statP95));
+  }
+  std::cout << table.toString() << "\n";
+}
+
 int run(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string in_path = cli.str("in", "");
@@ -194,6 +260,7 @@ int run(int argc, char** argv) {
   const obs::Json baseline = loadMetrics(baseline_path);
   printScalarDiff("counters", current, baseline);
   printScalarDiff("gauges", current, baseline);
+  printHistogramDiff(current, baseline);
   return 0;
 }
 
