@@ -146,28 +146,25 @@ class ObsSession {
 /// running many engines back to back (sim::BatchRunner bodies) so the
 /// engine reuses the workspace's scratch capacity instead of allocating a
 /// fresh set of O(N) vectors per trial.  `arena_delivery` /
-/// `topology_deltas` expose the EngineConfig hot-path toggles so A/B
-/// benches can pin one leg to the legacy (pre-arena, rebuild-every-round)
-/// engine; both paths produce byte-identical results.
+/// `topology_deltas` / `soa_state` expose the EngineConfig hot-path
+/// toggles so A/B benches can pin one leg to the legacy (pre-arena,
+/// rebuild-every-round, per-node-object) engine; all paths produce
+/// byte-identical results.
 inline sim::Engine makeEngine(const sim::ProcessFactory& factory,
                               std::unique_ptr<sim::Adversary> adversary,
                               sim::Round max_rounds, std::uint64_t seed,
                               bool record = false,
                               sim::EngineWorkspace* ws = nullptr,
                               bool arena_delivery = true,
-                              bool topology_deltas = true) {
-  const sim::NodeId n = adversary->numNodes();
-  std::vector<std::unique_ptr<sim::Process>> ps;
-  ps.reserve(static_cast<std::size_t>(n));
-  for (sim::NodeId v = 0; v < n; ++v) {
-    ps.push_back(factory.create(v, n));
-  }
+                              bool topology_deltas = true,
+                              bool soa_state = true) {
   sim::EngineConfig config;
   config.max_rounds = max_rounds;
   config.record_topologies = record;
   config.arena_delivery = arena_delivery;
   config.topology_deltas = topology_deltas;
-  return sim::Engine(std::move(ps), std::move(adversary), config, seed, ws);
+  config.soa_state = soa_state;
+  return sim::Engine(factory, std::move(adversary), config, seed, ws);
 }
 
 /// Realized dynamic diameter of the named adversary at size n (recorded

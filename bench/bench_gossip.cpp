@@ -42,8 +42,12 @@ int run(int argc, char** argv) {
         const Round budget_n = proto::gossipRounds(k, n, n);
         auto summary = sim::runTrials(trials, 600 + n + k, [&](std::uint64_t seed) {
           proto::GossipFactory factory(k, budget_d);
+          // Object path: the loop below introspects GossipProcess members.
           auto engine = makeEngine(factory, makeAdversary(adv_name, n, seed),
-                                   budget_d + 1, seed);
+                                   budget_d + 1, seed, /*record=*/false,
+                                   /*ws=*/nullptr, /*arena_delivery=*/true,
+                                   /*topology_deltas=*/true,
+                                   /*soa_state=*/false);
           engine.run();
           Round completed = -1;
           bool all = true;

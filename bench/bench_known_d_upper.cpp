@@ -87,8 +87,11 @@ Row runProblem(const std::string& problem, const std::string& adv_name,
       proto::MaxFloodFactory factory(values, /*value_bits=*/17,
                                      proto::knownDRounds(diameter, n));
       const Round budget = proto::knownDRounds(diameter, n) + 1;
+      // Object path: the loop below introspects MaxFloodProcess members.
       auto engine =
-          makeEngine(factory, makeAdversary(adv_name, n, seed), budget, seed);
+          makeEngine(factory, makeAdversary(adv_name, n, seed), budget, seed,
+                     /*record=*/false, /*ws=*/nullptr, /*arena_delivery=*/true,
+                     /*topology_deltas=*/true, /*soa_state=*/false);
       const auto result = engine.run();
       metrics["rounds"] = result.all_done_round;
       bool ok = result.all_done;

@@ -38,7 +38,13 @@ build/tools/dynet_stats --in "$obs_dir/bench_metrics.json" > /dev/null
 echo "=== engine perf smoke (all comparison modes, equality + speedup) ==="
 build/bench/bench_sim_perf --quick \
   batch-vs-sequential arena-vs-heap delta-vs-rebuild \
-  --json-out="$obs_dir/BENCH_sim_perf.json"
+  soa-vs-objects manyworlds-vs-scalar \
+  --json-out="$obs_dir/BENCH_sim_perf.json" \
+  --metrics-out="$obs_dir/bench_sim_metrics.json"
+# Cross-shape diff: the CLI run's engine gauges vs the bench's lane-packing
+# gauges exercise dynet_stats' soa// execution-shape section.
+build/tools/dynet_stats --in "$obs_dir/bench_sim_metrics.json" \
+  --baseline "$obs_dir/metrics.json" > /dev/null
 
 echo "=== campaign kill-and-resume smoke ==="
 scripts/campaign_smoke.sh build/tools/dynet_cli

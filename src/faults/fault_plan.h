@@ -73,6 +73,11 @@ class FaultPlan {
   bool hasCrashes() const { return num_crash_targets_ > 0; }
   /// True when any node has a restart scheduled (random or scripted).
   bool hasRestarts() const;
+  /// True when the plan can ever change the live mask.  Drop/corrupt-only
+  /// plans return false, which lets FaultPhase fill the mask once per run
+  /// instead of clearing it every round (byte-identical: the mask stays
+  /// all-ones and no restart/crash transition can fire).
+  bool affectsLiveness() const { return hasCrashes() || hasRestarts(); }
 
   /// Scheduled crash round of v; 0 = never crashes.
   sim::Round crashRound(sim::NodeId v) const;

@@ -70,6 +70,10 @@ class FloodFactory : public sim::ProcessFactory {
 
   std::unique_ptr<sim::Process> create(sim::NodeId node,
                                        sim::NodeId num_nodes) const override;
+  /// Structure-of-arrays execution (sim/soa.h): has_token / token_round /
+  /// done become flat columns; byte-identical to the object path.
+  std::unique_ptr<sim::SoAModel> createSoA(
+      sim::NodeId num_nodes) const override;
 
  private:
   sim::NodeId source_;
@@ -78,5 +82,12 @@ class FloodFactory : public sim::ProcessFactory {
   FloodMode mode_;
   sim::Round halt_round_;
 };
+
+/// The flood state digest as a pure function of one node's state — the
+/// single source of truth shared by FloodProcess::stateDigest, the SoA
+/// model, and the many-worlds lanes (protocols/manyworlds.h), so the
+/// cross-representation digest checks compare like with like.
+std::uint64_t floodStateDigest(sim::NodeId node, bool has_token,
+                               sim::Round token_round);
 
 }  // namespace dynet::proto

@@ -1,0 +1,365 @@
+#include "protocols/manyworlds.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bitio.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DYNET_MANYWORLDS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace dynet::proto {
+
+namespace {
+
+// CoinStream's first draw for round key rk is mix64(rk ^ kFirstDrawSalt)
+// (util/rng.h) — the only coin a flood holder ever draws in a round.
+constexpr std::uint64_t kCoin0 = util::CoinStream::kFirstDrawSalt;
+
+// hashCombine(a, b) = mix64(a ^ (mix64(b) + K + (a << 6) + (a >> 2))) with
+// K = 0x9e3779b97f4a7c15 (util/rng.h).  The round is loop-invariant across
+// nodes and lanes, so mix64(round) + K is hoisted into `mb` once per round
+// and each lane coin costs two mixes.
+constexpr std::uint64_t kHashK = 0x9e3779b97f4a7c15ULL;
+
+inline std::uint64_t firstCoinHoisted(std::uint64_t key, std::uint64_t mb) {
+  const std::uint64_t rk =
+      util::mix64(key ^ (mb + (key << 6) + (key >> 2)));
+  return util::mix64(rk ^ kCoin0) & 1;
+}
+
+// Coins are produced kCoinBlock rounds at a time per node: one pass over
+// the node's lane keys yields every coin word for the block, so the key
+// array (np * lanes words — well past L2 at large n) is streamed once per
+// block instead of once per round.  Filling is on demand and holder-only:
+// holds is monotone, so a node that holds nothing skips its block row
+// entirely (exactly like FloodProcess, which draws no coin without the
+// token), and a node acquiring mid-block fills its row on first use.
+constexpr int kCoinBlock = 16;
+
+#if DYNET_MANYWORLDS_X86
+
+// 8-wide mix64 (util/rng.h), bit-exact: same adds, shifts, and wrapping
+// 64-bit multiplies, eight lanes at a time.  _mm512_mullo_epi64 needs
+// AVX-512DQ, hence the target attribute + runtime dispatch below.
+__attribute__((target("avx512f,avx512dq"))) inline __m512i mix64x8(
+    __m512i z) {
+  z = _mm512_add_epi64(
+      z, _mm512_set1_epi64(static_cast<long long>(kHashK)));
+  z = _mm512_mullo_epi64(
+      _mm512_xor_si512(z, _mm512_srli_epi64(z, 30)),
+      _mm512_set1_epi64(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = _mm512_mullo_epi64(
+      _mm512_xor_si512(z, _mm512_srli_epi64(z, 27)),
+      _mm512_set1_epi64(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm512_xor_si512(z, _mm512_srli_epi64(z, 31));
+}
+
+/// One node's coin words for rounds mbs[0..nb): out[rb] bit l =
+/// firstCoinHoisted(keys[l], mbs[rb]).  The low bit of each 64-bit result
+/// compacts into a __mmask8 per group of eight lanes; the scalar tail
+/// covers nl % 8.  The second mix64 is truncated: the coin is
+/// bit0(z) ^ bit31(z) of the final stage z = y * C2 ^ (... >> 31), and
+/// bits 0..31 of y * C2 equal the low bits of lo32(y) * lo32(C2), so the
+/// last wrapping 64-bit multiply collapses to one vpmuludq — bit-exact for
+/// the single bit kept.
+__attribute__((target("avx512f,avx512dq"))) void fillLaneCoinsAvx512(
+    const std::uint64_t* keys, std::size_t nl, const std::uint64_t* mbs,
+    int nb, std::uint64_t* out) {
+  const __m512i salt = _mm512_set1_epi64(static_cast<long long>(kCoin0));
+  const __m512i one = _mm512_set1_epi64(1);
+  for (int rb = 0; rb < nb; ++rb) {
+    out[rb] = 0;
+  }
+  std::size_t l = 0;
+  for (; l + 8 <= nl; l += 8) {
+    const __m512i a = _mm512_loadu_si512(keys + l);
+    const __m512i pre = _mm512_add_epi64(_mm512_slli_epi64(a, 6),
+                                         _mm512_srli_epi64(a, 2));
+    for (int rb = 0; rb < nb; ++rb) {
+      const __m512i t = _mm512_xor_si512(
+          a, _mm512_add_epi64(_mm512_set1_epi64(static_cast<long long>(mbs[rb])),
+                              pre));
+      __m512i z = _mm512_xor_si512(mix64x8(t), salt);
+      z = _mm512_add_epi64(z, _mm512_set1_epi64(static_cast<long long>(kHashK)));
+      z = _mm512_mullo_epi64(
+          _mm512_xor_si512(z, _mm512_srli_epi64(z, 30)),
+          _mm512_set1_epi64(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+      z = _mm512_xor_si512(z, _mm512_srli_epi64(z, 27));
+      z = _mm512_mul_epu32(
+          z, _mm512_set1_epi64(
+                 static_cast<long long>(0x94d049bb133111ebULL & 0xffffffffULL)));
+      z = _mm512_xor_si512(z, _mm512_srli_epi64(z, 31));
+      out[rb] |= static_cast<std::uint64_t>(_mm512_test_epi64_mask(z, one))
+                 << l;
+    }
+  }
+  for (; l < nl; ++l) {
+    for (int rb = 0; rb < nb; ++rb) {
+      out[rb] |= firstCoinHoisted(keys[l], mbs[rb]) << l;
+    }
+  }
+}
+
+bool cpuHasAvx512() {
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0;
+}
+
+#endif  // DYNET_MANYWORLDS_X86
+
+inline void fillLaneCoins(const std::uint64_t* keys, std::size_t nl,
+                          const std::uint64_t* mbs, int nb, std::uint64_t* out,
+                          bool use_avx512) {
+#if DYNET_MANYWORLDS_X86
+  if (use_avx512) {
+    fillLaneCoinsAvx512(keys, nl, mbs, nb, out);
+    return;
+  }
+#else
+  (void)use_avx512;
+#endif
+  for (int rb = 0; rb < nb; ++rb) {
+    out[rb] = 0;
+  }
+  for (std::size_t l = 0; l < nl; ++l) {
+    for (int rb = 0; rb < nb; ++rb) {
+      out[rb] |= firstCoinHoisted(keys[l], mbs[rb]) << l;
+    }
+  }
+}
+
+/// Ripple one 64-lane bit vector into a carry-save counter (planes[k] holds
+/// bit k of every lane's count).  Amortized O(1) plane touches per add —
+/// the replacement for a countr_zero walk over every set lane.
+inline void csaAdd(std::uint64_t* planes, std::uint64_t x) {
+  for (int k = 0; x != 0; ++k) {
+    const std::uint64_t carry = planes[k] & x;
+    planes[k] ^= x;
+    x = carry;
+  }
+}
+
+/// Lane l's count out of a carry-save counter of `width` planes.
+inline std::uint64_t csaExtract(const std::uint64_t* planes, int width,
+                                std::size_t l) {
+  std::uint64_t count = 0;
+  for (int k = 0; k < width; ++k) {
+    count |= ((planes[k] >> l) & 1) << k;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<ManyWorldsLane> runManyWorldsFlood(
+    const ManyWorldsFloodSpec& spec, const net::TopologySeq& cycle,
+    std::uint64_t base_seed, std::size_t first_trial, int lanes) {
+  const sim::NodeId n = spec.num_nodes;
+  DYNET_CHECK(lanes >= 1 && lanes <= 64) << "lanes=" << lanes;
+  DYNET_CHECK(n >= 1) << "num_nodes=" << n;
+  DYNET_CHECK(spec.source >= 0 && spec.source < n)
+      << "source=" << spec.source;
+  DYNET_CHECK(spec.token_bits >= 1 && spec.token_bits <= 64)
+      << "token_bits=" << spec.token_bits;
+  DYNET_CHECK(spec.max_rounds >= 1) << "max_rounds=" << spec.max_rounds;
+  DYNET_CHECK(!cycle.empty()) << "empty topology cycle";
+  for (const net::GraphPtr& g : cycle) {
+    DYNET_CHECK(g != nullptr && g->numNodes() == n)
+        << "cycle graph node count mismatch";
+  }
+  // The engine's per-message budget check, hoisted: every flood message is
+  // the same token_bits-wide payload.
+  const int budget = spec.msg_budget_bits > 0 ? spec.msg_budget_bits
+                                              : sim::defaultBudgetBits(n);
+  DYNET_CHECK(spec.token_bits <= budget)
+      << "token of " << spec.token_bits << " bits exceeds budget " << budget;
+
+  const auto np = static_cast<std::size_t>(n);
+  const auto nl = static_cast<std::size_t>(lanes);
+  const std::uint64_t mask =
+      lanes == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+  const auto src = static_cast<std::size_t>(spec.source);
+  const auto token_bits = static_cast<std::uint64_t>(spec.token_bits);
+#if DYNET_MANYWORLDS_X86
+  static const bool use_avx512 = cpuHasAvx512();
+#else
+  const bool use_avx512 = false;
+#endif
+
+  // Per-(node, lane) coin-key prefixes: hashCombine(seed_l, v), exactly the
+  // scalar engine's ws.coin_keys for lane l's seed.
+  std::vector<std::uint64_t> node_key(np * nl);
+  for (std::size_t l = 0; l < nl; ++l) {
+    const std::uint64_t seed = util::hashCombine(base_seed, first_trial + l);
+    for (std::size_t v = 0; v < np; ++v) {
+      node_key[v * nl + l] =
+          util::hashCombine(seed, static_cast<std::uint64_t>(v));
+    }
+  }
+
+  std::vector<std::uint64_t> holds(np, 0);  // lane bit = node has the token
+  std::vector<std::uint64_t> sends(np, 0);  // lane bit = node sends this round
+  std::vector<sim::Round> token_round(np * nl, -1);
+  std::vector<std::uint64_t> lane_messages(nl, 0);
+  holds[src] = mask;
+  for (std::size_t l = 0; l < nl; ++l) {
+    token_round[src * nl + l] = 0;
+  }
+
+  // Carry-save send statistics (one uint64 plane = bit k of all 64 lane
+  // counts): per-(node, lane) lifetime send counts, sized for the largest
+  // possible count, and per-round per-lane message counts, sized for n
+  // sends per round.  One margin plane each guards the ripple.
+  const int sc_width =
+      util::bitWidthFor(static_cast<std::uint64_t>(spec.max_rounds)) + 1;
+  const int rm_width = util::bitWidthFor(static_cast<std::uint64_t>(n)) + 1;
+  std::vector<std::uint64_t> send_planes(
+      np * static_cast<std::size_t>(sc_width), 0);
+  std::vector<std::uint64_t> round_planes(static_cast<std::size_t>(rm_width));
+
+  std::vector<ManyWorldsLane> out(nl);
+  for (ManyWorldsLane& lane : out) {
+    lane.result.done_round.assign(np, -1);
+    lane.result.bits_per_node.assign(np, 0);
+    lane.result.bits_per_round.reserve(
+        static_cast<std::size_t>(spec.halt_round > 0 &&
+                                         spec.halt_round < spec.max_rounds &&
+                                         spec.stop_when_all_done
+                                     ? spec.halt_round
+                                     : spec.max_rounds));
+  }
+
+  const bool deterministic = spec.mode == FloodMode::kDeterministic;
+  // Round-blocked coin cache (see fillLaneCoinsAvx512): row v holds node
+  // v's coin words for rounds [block_first, block_first + nb), filled on a
+  // node's first holding round inside the block.
+  std::vector<std::uint64_t> coin_block;
+  std::vector<char> coin_filled;
+  std::uint64_t mbs[kCoinBlock] = {};
+  int nb = 0;
+  sim::Round block_first = 0;
+  if (!deterministic) {
+    coin_block.resize(np * static_cast<std::size_t>(kCoinBlock));
+    coin_filled.assign(np, 0);
+  }
+  sim::Round executed = 0;
+  sim::Round done_at = -1;  // round at whose end every node was done
+  for (sim::Round r = 1; r <= spec.max_rounds; ++r) {
+    // The engine's run() loop checks all_done before stepping.
+    if (spec.stop_when_all_done && done_at >= 0) {
+      break;
+    }
+    const net::Graph& g =
+        *cycle[static_cast<std::size_t>(r - 1) % cycle.size()];
+    for (int k = 0; k < rm_width; ++k) {
+      round_planes[static_cast<std::size_t>(k)] = 0;
+    }
+    // Compute: holders send (deterministic) or send on their lane coin.
+    if (!deterministic && (block_first == 0 || r >= block_first + kCoinBlock)) {
+      block_first = r;
+      nb = static_cast<int>(
+          std::min<sim::Round>(kCoinBlock, spec.max_rounds - r + 1));
+      for (int b = 0; b < nb; ++b) {
+        mbs[b] = util::mix64(static_cast<std::uint64_t>(r + b)) + kHashK;
+      }
+      std::fill(coin_filled.begin(), coin_filled.end(), char{0});
+    }
+    const auto rb = static_cast<std::size_t>(r - block_first);
+    for (std::size_t v = 0; v < np; ++v) {
+      const std::uint64_t h = holds[v];
+      if (h == 0) {
+        sends[v] = 0;
+        continue;  // non-holders draw no coins, exactly like FloodProcess
+      }
+      std::uint64_t s = h;
+      if (!deterministic) {
+        std::uint64_t* const row =
+            &coin_block[v * static_cast<std::size_t>(kCoinBlock)];
+        if (coin_filled[v] == 0) {
+          fillLaneCoins(&node_key[v * nl], nl, mbs, nb, row, use_avx512);
+          coin_filled[v] = 1;
+        }
+        s &= row[rb];
+      }
+      sends[v] = s;
+      if (s != 0) {
+        csaAdd(&send_planes[v * static_cast<std::size_t>(sc_width)], s);
+        csaAdd(round_planes.data(), s);
+      }
+    }
+    // Deliver: a lane of v acquires iff v neither holds nor sends in that
+    // lane and some neighbor sends in it.
+    for (sim::NodeId vid = 0; vid < n; ++vid) {
+      const auto v = static_cast<std::size_t>(vid);
+      if ((holds[v] | sends[v]) == mask) {
+        continue;  // nothing left to acquire in any lane
+      }
+      std::uint64_t received = 0;
+      for (const sim::NodeId u : g.neighbors(vid)) {
+        received |= sends[static_cast<std::size_t>(u)];
+      }
+      std::uint64_t acquired = received & ~sends[v] & ~holds[v];
+      if (acquired != 0) {
+        holds[v] |= acquired;
+        while (acquired != 0) {
+          const int l = std::countr_zero(acquired);
+          acquired &= acquired - 1;
+          token_round[v * nl + static_cast<std::size_t>(l)] = r;
+        }
+      }
+    }
+    // Observe: per-lane round series, done transition.
+    executed = r;
+    for (std::size_t l = 0; l < nl; ++l) {
+      const std::uint64_t msgs = csaExtract(round_planes.data(), rm_width, l);
+      out[l].result.bits_per_round.push_back(msgs * token_bits);
+      lane_messages[l] += msgs;
+    }
+    if (done_at < 0 && spec.halt_round > 0 && r >= spec.halt_round) {
+      done_at = r;
+    }
+  }
+
+  for (std::size_t l = 0; l < nl; ++l) {
+    ManyWorldsLane& lane = out[l];
+    sim::RunResult& result = lane.result;
+    result.rounds_executed = executed;
+    result.messages_sent = lane_messages[l];
+    result.bits_sent = lane_messages[l] * token_bits;
+    if (done_at >= 0) {
+      result.all_done = true;
+      result.all_done_round = done_at;
+      result.done_round.assign(np, done_at);
+    }
+    lane.has_token.resize(np);
+    lane.token_round.resize(np);
+    const std::uint64_t bit = std::uint64_t{1} << l;
+    for (std::size_t v = 0; v < np; ++v) {
+      const std::uint64_t bits =
+          csaExtract(&send_planes[v * static_cast<std::size_t>(sc_width)],
+                     sc_width, l) *
+          token_bits;
+      result.bits_per_node[v] = bits;
+      if (bits > result.max_bits_per_node) {
+        result.max_bits_per_node = bits;
+      }
+      lane.has_token[v] = (holds[v] & bit) != 0 ? 1 : 0;
+      lane.token_round[v] = token_round[v * nl + l];
+    }
+  }
+  return out;
+}
+
+double manyWorldsLaneOccupancy(int trials, int lane_width) {
+  DYNET_CHECK(trials >= 1 && lane_width >= 1 && lane_width <= 64)
+      << "trials=" << trials << " lane_width=" << lane_width;
+  const int groups = (trials + lane_width - 1) / lane_width;
+  return static_cast<double>(trials) / (static_cast<double>(groups) * 64.0);
+}
+
+}  // namespace dynet::proto

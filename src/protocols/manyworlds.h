@@ -1,0 +1,68 @@
+// Bit-parallel "many-worlds" flood: 64 Monte Carlo trials per uint64 word.
+//
+// A flood trial's per-node state is one bit (has_token), so 64 independent
+// trials over a SHARED topology sequence pack into one word per node: one
+// pass over the graph advances 64 seeds at once with OR/AND-NOT word ops.
+// Lane l of a group reproduces, bit for bit, the scalar engine run of
+// FloodFactory under a PeriodicAdversary over the same cycle with seed
+// hashCombine(base_seed, first_trial + l) — same coins (the lanes evaluate
+// the exact CoinStream(seed, node, round) first draw), same RunResult
+// accounting, same per-node has_token / token_round state
+// (tests/soa_state_test.cpp pins lane == scalar equality).
+//
+// Wired into batch sweeps through BatchRunner::runLanes (sim/batch.h),
+// which dispatches trials in groups of up to 64 and merges per-lane metrics
+// in trial order, so a many-worlds sweep summary is exactly comparable to
+// its scalar equivalent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/diameter.h"
+#include "net/graph.h"
+#include "protocols/flood.h"
+#include "sim/engine.h"
+
+namespace dynet::proto {
+
+/// The flood workload one lane group executes; mirrors the (FloodFactory,
+/// PeriodicAdversary, EngineConfig) triple of the scalar equivalent.
+struct ManyWorldsFloodSpec {
+  sim::NodeId num_nodes = 0;
+  sim::NodeId source = 0;
+  std::uint64_t token = 0;
+  int token_bits = 1;
+  FloodMode mode = FloodMode::kRandomized;
+  /// done() flips at the end of this round (0 = never), as in FloodProcess.
+  sim::Round halt_round = 0;
+  sim::Round max_rounds = 1 << 20;
+  /// 0 derives sim::defaultBudgetBits(num_nodes).
+  int msg_budget_bits = 0;
+  bool stop_when_all_done = true;
+};
+
+/// One lane's results: the RunResult the scalar engine would produce plus
+/// the per-node terminal flood state (digest via floodStateDigest).
+struct ManyWorldsLane {
+  sim::RunResult result;
+  std::vector<char> has_token;        // [node]
+  std::vector<sim::Round> token_round;  // [node]; -1 = never arrived
+};
+
+/// Advances `lanes` (1..64) trials at once over `cycle` (round r uses
+/// cycle[(r - 1) % size], the PeriodicAdversary convention).  Lane l runs
+/// seed util::hashCombine(base_seed, first_trial + l) — the BatchRunner
+/// trial-seeding contract, so first_trial is the lane group's offset into a
+/// larger sweep.
+std::vector<ManyWorldsLane> runManyWorldsFlood(
+    const ManyWorldsFloodSpec& spec, const net::TopologySeq& cycle,
+    std::uint64_t base_seed, std::size_t first_trial, int lanes);
+
+/// Mean occupied fraction of the 64-wide lane word when dispatching
+/// `trials` trials in groups of `lane_width` — the soa//lane_occupancy
+/// gauge of docs/OBSERVABILITY.md (1.0 = every group full; a short final
+/// group wastes word bits).
+double manyWorldsLaneOccupancy(int trials, int lane_width);
+
+}  // namespace dynet::proto

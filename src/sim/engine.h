@@ -68,6 +68,20 @@ struct EngineConfig {
   /// False always calls topology() — the legacy path, byte-identical by
   /// the topologyUpdate contract.
   bool topology_deltas = true;
+  /// Structure-of-arrays state selection for the factory constructor: when
+  /// true (the default) and the ProcessFactory overrides createSoA, protocol
+  /// state lives in flat per-field arrays (sim/soa.h) instead of per-node
+  /// Process objects, byte-identical by contract (tests/soa_state_test.cpp,
+  /// fuzz-diff, golden corpus).  False — or a factory without a model, or
+  /// the process-vector constructor — selects the legacy object path, kept
+  /// verbatim as the differential baseline.
+  bool soa_state = true;
+  /// Intra-trial worker count for the SoA compute/delivery loops
+  /// (sim/soa_exec.h strided pattern).  1 (the default) is the serial loop —
+  /// BatchRunner already parallelizes across trials; 0 means one worker per
+  /// util::ThreadPool::shared() thread; k > 1 pins exactly k workers.
+  /// Ignored on the object path.
+  int node_threads = 1;
   /// Stop as soon as every process reports done().  With a FaultInjector,
   /// crashed nodes are exempt: the run stops when every live node is done.
   bool stop_when_all_done = true;
@@ -121,7 +135,15 @@ class Engine {
   Engine(std::vector<std::unique_ptr<Process>> processes,
          std::unique_ptr<Adversary> adversary, EngineConfig config,
          std::uint64_t seed, EngineWorkspace* workspace = nullptr);
-  // Out-of-line: EngineObs / EngineWorkspace are incomplete here.
+  /// Factory form: node count comes from the adversary.  With
+  /// config.soa_state and a factory that overrides createSoA, the run uses
+  /// the structure-of-arrays path; otherwise processes are materialized via
+  /// factory.create and the run is the classic object path.  Both paths are
+  /// byte-identical by contract.
+  Engine(const ProcessFactory& factory, std::unique_ptr<Adversary> adversary,
+         EngineConfig config, std::uint64_t seed,
+         EngineWorkspace* workspace = nullptr);
+  // Out-of-line: EngineObs / EngineWorkspace / SoAModel are incomplete here.
   ~Engine();
   // Not movable: every creation site either constructs in place or returns
   // a prvalue (guaranteed elision), so no move is ever needed.
@@ -141,8 +163,16 @@ class Engine {
   bool step();
 
   Round currentRound() const { return round_; }
-  NodeId numNodes() const { return static_cast<NodeId>(processes_.size()); }
-  const Process& process(NodeId v) const { return *processes_[static_cast<std::size_t>(v)]; }
+  NodeId numNodes() const { return n_; }
+  /// Object path only (checked): SoA runs have no Process objects.  Callers
+  /// that must work on both paths use nodeDone/nodeOutput/stateDigest.
+  const Process& process(NodeId v) const;
+  /// True when this run executes on the structure-of-arrays path.
+  bool soaActive() const { return soa_ != nullptr; }
+  // Per-node state reads working on both representations.
+  bool nodeDone(NodeId v) const;
+  std::uint64_t nodeOutput(NodeId v) const;
+  std::uint64_t stateDigest(NodeId v) const;
   bool allDone() const;
 
   /// Recorded per-round topologies (config.record_topologies); index i holds
@@ -162,10 +192,16 @@ class Engine {
   void finalizeMetrics();
 
  private:
-  std::vector<std::unique_ptr<Process>> processes_;
+  /// Shared tail of both constructors; requires n_, processes_/soa_,
+  /// adversary_, config_, seed_ to be settled.
+  void init(EngineWorkspace* workspace);
+
+  std::vector<std::unique_ptr<Process>> processes_;  // empty on the SoA path
+  std::unique_ptr<SoAModel> soa_;  // null on the object path
   std::unique_ptr<Adversary> adversary_;
   EngineConfig config_;
   std::uint64_t seed_;
+  NodeId n_ = 0;
   int budget_bits_;
   Round round_ = 0;
   std::shared_ptr<const faults::FaultInjector> injector_;

@@ -1,9 +1,12 @@
 #include "sim/phase.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "faults/fault_injector.h"
 #include "obs/sink.h"
+#include "sim/soa.h"
+#include "sim/soa_exec.h"
 #include "util/check.h"
 
 namespace dynet::sim {
@@ -41,6 +44,34 @@ bool allLiveDone(const std::vector<std::unique_ptr<Process>>& processes,
   return true;
 }
 
+bool allLiveDone(const SoAModel& model, NodeId n,
+                 const faults::FaultInjector* injector, Round round) {
+  // Models exposing their raw done column skip the per-node virtual calls.
+  if (const char* done = model.doneData(); done != nullptr) {
+    if (injector == nullptr) {
+      return std::memchr(done, 0, static_cast<std::size_t>(n)) == nullptr;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (injector->isCrashed(v, round)) {
+        continue;  // crashed nodes cannot hold the run open
+      }
+      if (done[static_cast<std::size_t>(v)] == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (injector != nullptr && injector->isCrashed(v, round)) {
+      continue;  // crashed nodes cannot hold the run open
+    }
+    if (!model.done(v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 namespace {
 
 obs::TraceWriter* tracerOf(const RoundContext& ctx) {
@@ -66,14 +97,30 @@ void FaultPhase::run(RoundContext& ctx) {
   if (!ctx.faulty) {
     return;
   }
-  auto& processes = *ctx.processes;
   EngineWorkspace& ws = *ctx.ws;
   RunResult& result = *ctx.result;
-  ws.alive.assign(processes.size(), 1);
+  const auto np = static_cast<std::size_t>(ctx.n);
+  if (!ctx.injector->plan().affectsLiveness()) {
+    // Drop/corrupt-only plans never change the live mask, so fill it once
+    // per run instead of clearing it every round (profiles of shared-graph
+    // StaticAdversary sweeps showed the redundant per-trial clears).
+    // Byte-identical: the mask stays all-ones, and no restart or crash
+    // branch below could ever fire without a crash/restart schedule.
+    if (ws.alive.size() != np) {
+      ws.alive.assign(np, 1);
+    }
+    closeSpan(ctx, "fault_hook");
+    return;
+  }
+  ws.alive.assign(np, 1);
   for (NodeId v = 0; v < ctx.n; ++v) {
     const auto idx = static_cast<std::size_t>(v);
     if (ctx.injector->restartsAt(v, ctx.round)) {
-      processes[idx] = ctx.injector->freshProcess(v, ctx.n);
+      if (ctx.soa != nullptr) {
+        ctx.soa->resetNode(v);
+      } else {
+        (*ctx.processes)[idx] = ctx.injector->freshProcess(v, ctx.n);
+      }
       ws.crash_counted[idx] = 0;
       ++result.restarts;
       if (ctx.obs != nullptr) {
@@ -95,27 +142,43 @@ void FaultPhase::run(RoundContext& ctx) {
 }
 
 // Coins flip, each live node decides its action; crashed nodes decide
-// nothing and emit nothing.
+// nothing and emit nothing.  accountSentAction (sim/soa_exec.h) is shared
+// with the SoA compute loops, which fuse it into their serial walk.
 void ComputePhase::run(RoundContext& ctx) {
-  auto& processes = *ctx.processes;
   EngineWorkspace& ws = *ctx.ws;
   RunResult& result = *ctx.result;
-  ws.actions.resize(processes.size());
+  const auto np = static_cast<std::size_t>(ctx.n);
+  ws.actions.resize(np);
   // Per-node coin-key prefixes, hashed once per run: fromNodeKey yields the
   // exact CoinStream(seed, node, round) streams at half the construction
   // hashing.
-  if (ws.coin_keys.size() != processes.size()) {
-    ws.coin_keys.resize(processes.size());
-    ws.wants_refs.resize(processes.size());
+  if (ws.coin_keys.size() != np) {
+    ws.coin_keys.resize(np);
     for (NodeId v = 0; v < ctx.n; ++v) {
       ws.coin_keys[static_cast<std::size_t>(v)] =
           util::hashCombine(ctx.seed, static_cast<std::uint64_t>(v));
-      // Cached once per run: the answer is a class property, and the
-      // delivery loop asks for every receiver every round.
-      ws.wants_refs[static_cast<std::size_t>(v)] =
-          processes[static_cast<std::size_t>(v)]->wantsMessageRefs() ? 1 : 0;
+    }
+    if (ctx.soa == nullptr) {
+      auto& processes = *ctx.processes;
+      ws.wants_refs.resize(np);
+      for (NodeId v = 0; v < ctx.n; ++v) {
+        // Cached once per run: the answer is a class property, and the
+        // delivery loop asks for every receiver every round.
+        ws.wants_refs[static_cast<std::size_t>(v)] =
+            processes[static_cast<std::size_t>(v)]->wantsMessageRefs() ? 1 : 0;
+      }
     }
   }
+  if (ctx.soa != nullptr) {
+    // The model fills every action slot and accounts its sends
+    // (sim/soa_exec.h): fused into the serial walk at one worker, a
+    // separate ascending pass after the join otherwise — either way the
+    // counter updates and histogram observations land in the legacy order.
+    ctx.soa->computeAll(ctx);
+    closeSpan(ctx, "process_step");
+    return;
+  }
+  auto& processes = *ctx.processes;
   for (NodeId v = 0; v < ctx.n; ++v) {
     const auto idx = static_cast<std::size_t>(v);
     if (ctx.faulty && ws.alive[idx] == 0) {
@@ -127,18 +190,7 @@ void ComputePhase::run(RoundContext& ctx) {
     ws.actions[idx] = processes[idx]->onRound(ctx.round, coins);
     const Action& a = ws.actions[idx];
     if (a.send) {
-      DYNET_CHECK(a.msg.bitSize() <= ctx.budget_bits)
-          << "node " << v << " round " << ctx.round << " message of "
-          << a.msg.bitSize() << " bits exceeds budget " << ctx.budget_bits;
-      ++result.messages_sent;
-      result.bits_sent += static_cast<std::uint64_t>(a.msg.bitSize());
-      result.bits_per_node[idx] += static_cast<std::uint64_t>(a.msg.bitSize());
-      if (result.bits_per_node[idx] > result.max_bits_per_node) {
-        result.max_bits_per_node = result.bits_per_node[idx];
-      }
-      if (ctx.obs != nullptr) {
-        ctx.obs->bits_per_send->observe(static_cast<double>(a.msg.bitSize()));
-      }
+      accountSentAction(ctx, result, v, a);
     }
   }
   closeSpan(ctx, "process_step");
@@ -300,6 +352,13 @@ void deliverThroughArena(RoundContext& ctx) {
 // default; the else-branch is the legacy per-receiver-vector path, kept
 // verbatim as the differential-testing baseline.
 void DeliveryPhase::run(RoundContext& ctx) {
+  if (ctx.soa != nullptr) {
+    // SoA path: the model walks the flat arrays itself (sim/soa_exec.h
+    // reproduces the fault filter and canonical order of the loops below).
+    ctx.soa->deliverAll(ctx);
+    closeSpan(ctx, "delivery");
+    return;
+  }
   if (ctx.config->arena_delivery) {
     deliverThroughArena(ctx);
     closeSpan(ctx, "delivery");
@@ -365,10 +424,24 @@ void DeliveryPhase::run(RoundContext& ctx) {
 void ObservePhase::run(RoundContext& ctx) {
   auto& processes = *ctx.processes;
   RunResult& result = *ctx.result;
-  for (NodeId v = 0; v < ctx.n; ++v) {
-    const auto idx = static_cast<std::size_t>(v);
-    if (result.done_round[idx] < 0 && processes[idx]->done()) {
-      result.done_round[idx] = ctx.round;
+  const char* const soa_done =
+      ctx.soa != nullptr ? ctx.soa->doneData() : nullptr;
+  if (soa_done != nullptr) {
+    // Raw done-column scan: the SoA models mirror done() in a byte column,
+    // so the per-node virtual dispatch of the generic loop disappears.
+    for (NodeId v = 0; v < ctx.n; ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      if (result.done_round[idx] < 0 && soa_done[idx] != 0) {
+        result.done_round[idx] = ctx.round;
+      }
+    }
+  } else {
+    for (NodeId v = 0; v < ctx.n; ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      if (result.done_round[idx] < 0 &&
+          (ctx.soa != nullptr ? ctx.soa->done(v) : processes[idx]->done())) {
+        result.done_round[idx] = ctx.round;
+      }
     }
   }
   result.rounds_executed = ctx.round;
@@ -389,7 +462,10 @@ void ObservePhase::run(RoundContext& ctx) {
                               static_cast<double>(round_messages));
     }
   }
-  if (!result.all_done && allLiveDone(processes, ctx.injector, ctx.round)) {
+  if (!result.all_done &&
+      (ctx.soa != nullptr
+           ? allLiveDone(*ctx.soa, ctx.n, ctx.injector, ctx.round)
+           : allLiveDone(processes, ctx.injector, ctx.round))) {
     result.all_done = true;
     result.all_done_round = ctx.round;
   }

@@ -84,6 +84,10 @@ struct EngineObs {
 struct RoundContext {
   // --- Wiring: constant across the run, set up by the engine. ---
   std::vector<std::unique_ptr<Process>>* processes = nullptr;
+  /// Structure-of-arrays execution (sim/soa.h); null on the object path.
+  /// When set, `processes` points at an empty vector and the compute /
+  /// delivery / observe phases drive the model instead.
+  SoAModel* soa = nullptr;
   Adversary* adversary = nullptr;
   const EngineConfig* config = nullptr;
   const faults::FaultInjector* injector = nullptr;  // null in clean runs
@@ -151,6 +155,10 @@ std::vector<std::unique_ptr<PhaseUnit>> makeDefaultPipeline();
 /// True when every live process reports done(); with an injector, crashed
 /// nodes are exempt (they cannot hold the run open).
 bool allLiveDone(const std::vector<std::unique_ptr<Process>>& processes,
+                 const faults::FaultInjector* injector, Round round);
+
+/// SoA-path variant of the same predicate.
+bool allLiveDone(const SoAModel& model, NodeId n,
                  const faults::FaultInjector* injector, Round round);
 
 }  // namespace dynet::sim

@@ -25,6 +25,8 @@
 
 namespace dynet::sim {
 
+class SoAModel;  // structure-of-arrays protocol execution (sim/soa.h)
+
 using NodeId = std::int32_t;
 using Round = std::int32_t;
 
@@ -112,6 +114,14 @@ class ProcessFactory {
  public:
   virtual ~ProcessFactory() = default;
   virtual std::unique_ptr<Process> create(NodeId node, NodeId num_nodes) const = 0;
+
+  /// Optional structure-of-arrays execution of the whole node vector
+  /// (sim/soa.h).  The default — defined in soa.cpp, where SoAModel is
+  /// complete — returns null: the engine then materializes Processes even
+  /// under EngineConfig::soa_state.  An override must produce a model whose
+  /// execution is byte-identical to the object path (pinned by
+  /// tests/soa_state_test.cpp and the fuzz-diff/golden layers).
+  virtual std::unique_ptr<SoAModel> createSoA(NodeId num_nodes) const;
 };
 
 }  // namespace dynet::sim

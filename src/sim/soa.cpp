@@ -1,0 +1,31 @@
+#include "sim/soa.h"
+
+#include "sim/engine.h"
+#include "util/thread_pool.h"
+
+namespace dynet::sim {
+
+SoAModel::~SoAModel() = default;
+
+void SoAModel::exportMetrics(
+    NodeId v, std::vector<std::pair<std::string, double>>& out) const {
+  (void)v;
+  (void)out;
+}
+
+// Out-of-line so process.h can declare the factory hook against an
+// incomplete SoAModel.
+std::unique_ptr<SoAModel> ProcessFactory::createSoA(NodeId num_nodes) const {
+  (void)num_nodes;
+  return nullptr;
+}
+
+int soaStrideWorkers(const EngineConfig& config) {
+  int workers = config.node_threads;
+  if (workers == 0) {
+    workers = static_cast<int>(util::ThreadPool::shared().threadCount());
+  }
+  return workers < 1 ? 1 : workers;
+}
+
+}  // namespace dynet::sim

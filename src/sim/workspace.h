@@ -24,6 +24,7 @@
 #include "sim/arena.h"
 #include "sim/message.h"
 #include "sim/process.h"
+#include "sim/soa.h"
 
 namespace dynet::sim {
 
@@ -57,6 +58,19 @@ struct EngineWorkspace {
   /// Last graph AdversaryPhase warmed, so an adversary returning the same
   /// GraphPtr for consecutive rounds skips even the warmed() check.
   const net::Graph* last_warmed = nullptr;
+  /// Structure-of-arrays protocol state (EngineConfig::soa_state): the
+  /// engine's SoAModel binds its per-field columns here so their capacity
+  /// is reused across trials like every other workspace vector.
+  SoAStore soa;
+  /// Per-worker fault counters for the strided SoA delivery loop
+  /// (sim/soa_exec.h); merged into the RunResult after the join.
+  std::vector<std::uint64_t> stride_dropped;
+  std::vector<std::uint64_t> stride_corrupted;
+  /// This round's sending nodes in ascending order, collected by the serial
+  /// SoA compute walk so fault-free delivery can iterate senders (push
+  /// model) instead of scanning every node (sim/soa_exec.h).  Empty and
+  /// unused on the strided and faulty paths.
+  std::vector<NodeId> soa_senders;
 
   /// Drops all per-run state but keeps every vector's capacity.  The engine
   /// calls this on construction, so a reused workspace can never leak one
@@ -72,6 +86,10 @@ struct EngineWorkspace {
     wants_refs.clear();
     prev_topology = nullptr;
     last_warmed = nullptr;
+    soa.reset();
+    stride_dropped.clear();
+    stride_corrupted.clear();
+    soa_senders.clear();
   }
 };
 

@@ -77,6 +77,11 @@ class Rng {
 /// in the two-party reduction.
 class CoinStream {
  public:
+  /// Counter salt of u64(): draw i is mix64(key ^ mix64(i + kCounterSalt)).
+  static constexpr std::uint64_t kCounterSalt = 0x243f6a8885a308d3ULL;
+  /// mix64(0 + kCounterSalt), folded: the inner hash of the first draw.
+  static constexpr std::uint64_t kFirstDrawSalt = mix64(kCounterSalt);
+
   CoinStream(std::uint64_t seed, std::uint64_t node, std::uint64_t round)
       : key_(hashCombine(hashCombine(seed, node), round)), counter_(0) {}
 
@@ -85,10 +90,33 @@ class CoinStream {
   /// per trial, halving the per-(node, round) construction hashing without
   /// touching the coin values.
   static CoinStream fromNodeKey(std::uint64_t node_key, std::uint64_t round) {
-    return CoinStream(hashCombine(node_key, round));
+    return CoinStream(roundKey(node_key, round));
   }
 
-  std::uint64_t u64() { return mix64(key_ ^ mix64(counter_++ + 0x243f6a8885a308d3ULL)); }
+  /// The construction hash fromNodeKey performs before any draw, exposed so
+  /// hot loops can derive it once and share it between firstCoin and a full
+  /// stream.
+  static std::uint64_t roundKey(std::uint64_t node_key, std::uint64_t round) {
+    return hashCombine(node_key, round);
+  }
+
+  /// Stream over a precomputed roundKey with the first `skip` draws already
+  /// consumed: fromRoundKey(roundKey(k, r), 0) == fromNodeKey(k, r).
+  static CoinStream fromRoundKey(std::uint64_t round_key,
+                                 std::uint64_t skip = 0) {
+    CoinStream c(round_key);
+    c.counter_ = skip;
+    return c;
+  }
+
+  /// coin() of a fresh fromRoundKey(round_key) stream without constructing
+  /// it — one mix64 instead of two.  SoA compute loops and the many-worlds
+  /// lanes use this for protocols whose round draws start with a coin.
+  static bool firstCoin(std::uint64_t round_key) {
+    return (mix64(round_key ^ kFirstDrawSalt) & 1) != 0;
+  }
+
+  std::uint64_t u64() { return mix64(key_ ^ mix64(counter_++ + kCounterSalt)); }
 
   bool coin() { return (u64() & 1) != 0; }
 

@@ -1,16 +1,17 @@
 // Differential fuzz over the engine's dual hot paths.
 //
-// The arena delivery path and the incremental topology cache (PR: arena
-// hot path + topology deltas) are required to be BYTE-IDENTICAL to the
+// The arena delivery path, the incremental topology cache (PR: arena hot
+// path + topology deltas) and the structure-of-arrays state store (PR: SoA
+// state + many-worlds lanes) are required to be BYTE-IDENTICAL to the
 // legacy engine: same RunResult fields, same per-node state digests, same
-// serialized traces, same metrics.json — modulo the two reserved metric
-// prefixes (`topology/`, `arena/`) that report how the work was done
-// rather than what the protocol did.
+// serialized traces, same metrics.json — modulo the reserved metric
+// prefixes (`topology/`, `arena/`, `soa/`) that report how the work was
+// done rather than what the protocol did.
 //
 // This test samples random (adversary, protocol, fault-plan) configs from
-// a fixed master seed and runs each through all four flag combinations of
-// {arena_delivery, topology_deltas}, asserting every combination matches
-// the legacy (false, false) artifacts exactly.
+// a fixed master seed and runs each through all eight flag combinations of
+// {soa_state, arena_delivery, topology_deltas}, asserting every
+// combination matches the legacy (false, false, false) artifacts exactly.
 //
 // Budget: the default config count keeps the test inside the tier-1 ctest
 // `--quick` budget (a few seconds).  Set DYNET_FUZZ_CONFIGS=<count> to
@@ -178,18 +179,20 @@ struct TrialArtifacts {
   }
 };
 
-/// Drops every line mentioning a reserved-prefix metric.  `topology/` and
-/// `arena/` report which hot path executed (delta hit rates, arena high
-/// water marks) and are the ONLY metrics allowed to differ between the
-/// legacy and arena+delta engines.  Both paths register the same names,
-/// so stripping is symmetric and the remainders stay comparable.
+/// Drops every line mentioning a reserved-prefix metric.  `topology/`,
+/// `arena/` and `soa/` report which hot path executed (delta hit rates,
+/// arena high water marks, stride-worker shape) and are the ONLY metrics
+/// allowed to differ between the legacy and optimized engines.  All paths
+/// register the same protocol-level names, so stripping is symmetric and
+/// the remainders stay comparable.
 std::string stripReservedMetrics(const std::string& json) {
   std::istringstream in(json);
   std::ostringstream out;
   std::string line;
   while (std::getline(in, line)) {
     if (line.find("\"topology/") != std::string::npos ||
-        line.find("\"arena/") != std::string::npos) {
+        line.find("\"arena/") != std::string::npos ||
+        line.find("\"soa/") != std::string::npos) {
       continue;
     }
     out << line << '\n';
@@ -197,13 +200,9 @@ std::string stripReservedMetrics(const std::string& json) {
   return out.str();
 }
 
-TrialArtifacts runConfig(const FuzzConfig& c, bool arena_delivery,
-                         bool topology_deltas) {
+TrialArtifacts runConfig(const FuzzConfig& c, bool soa_state,
+                         bool arena_delivery, bool topology_deltas) {
   const std::unique_ptr<ProcessFactory> factory = makeFactory(c);
-  std::vector<std::unique_ptr<Process>> ps;
-  for (NodeId v = 0; v < c.n; ++v) {
-    ps.push_back(factory->create(v, c.n));
-  }
   obs::MetricsSink sink;
   EngineConfig config;
   config.max_rounds = c.rounds;
@@ -216,9 +215,10 @@ TrialArtifacts runConfig(const FuzzConfig& c, bool arena_delivery,
   // connectivity guard is off here (and off identically on both paths).
   config.check_connectivity = false;
   config.metrics = c.with_sink ? &sink : nullptr;
+  config.soa_state = soa_state;
   config.arena_delivery = arena_delivery;
   config.topology_deltas = topology_deltas;
-  Engine engine(std::move(ps), makeAdversary(c), config, c.run_seed);
+  Engine engine(*factory, makeAdversary(c), config, c.run_seed);
   if (c.faulty) {
     engine.setFaultInjector(std::make_shared<const faults::FaultInjector>(
         faults::FaultPlan(c.n, c.fc, c.run_seed * 0x9E3779B97F4A7C15ULL + 0xFA),
@@ -227,7 +227,7 @@ TrialArtifacts runConfig(const FuzzConfig& c, bool arena_delivery,
   TrialArtifacts artifacts;
   artifacts.result = engine.run();
   for (NodeId v = 0; v < c.n; ++v) {
-    artifacts.digests.push_back(engine.process(v).stateDigest());
+    artifacts.digests.push_back(engine.stateDigest(v));
   }
   std::ostringstream trace;
   writeTrace(trace, traceFromEngine(engine));
@@ -248,23 +248,26 @@ int configCount() {
       util::envInt("DYNET_FUZZ_CONFIGS", 24, 1, 100'000'000));
 }
 
-TEST(FuzzDiff, ArenaAndDeltaPathsMatchLegacyByteForByte) {
+TEST(FuzzDiff, OptimizedPathsMatchLegacyByteForByte) {
   const std::uint64_t master_seed = 0xF02Dull;
   const int count = configCount();
   for (int i = 0; i < count; ++i) {
     const FuzzConfig c = sampleConfig(master_seed, i);
-    const TrialArtifacts legacy = runConfig(c, false, false);
-    // All three non-legacy combinations — the shipping default
-    // (true, true) plus both single-flag engines, so a regression in
-    // either subsystem is attributed to the right flag.
-    const TrialArtifacts arena_only = runConfig(c, true, false);
-    const TrialArtifacts delta_only = runConfig(c, false, true);
-    const TrialArtifacts both = runConfig(c, true, true);
-    EXPECT_TRUE(legacy == arena_only)
-        << describeConfig(c, i) << " [arena_delivery only]";
-    EXPECT_TRUE(legacy == delta_only)
-        << describeConfig(c, i) << " [topology_deltas only]";
-    EXPECT_TRUE(legacy == both) << describeConfig(c, i) << " [both flags]";
+    const TrialArtifacts legacy = runConfig(c, false, false, false);
+    // All seven non-legacy combinations of {soa_state, arena_delivery,
+    // topology_deltas} — the shipping default (true, true, true) plus every
+    // partial engine, so a regression in any subsystem is attributed to the
+    // right flag.
+    for (int combo = 1; combo < 8; ++combo) {
+      const bool soa = (combo & 4) != 0;
+      const bool arena = (combo & 2) != 0;
+      const bool deltas = (combo & 1) != 0;
+      const TrialArtifacts other = runConfig(c, soa, arena, deltas);
+      EXPECT_TRUE(legacy == other)
+          << describeConfig(c, i) << " [soa_state=" << soa
+          << " arena_delivery=" << arena << " topology_deltas=" << deltas
+          << "]";
+    }
     if (HasFailure()) {
       break;  // one reproducible config is enough to debug
     }
@@ -279,6 +282,7 @@ TEST(FuzzDiff, ReservedMetricStripping) {
       "    \"engine/rounds\": 5,\n"
       "    \"topology/full_builds\": 5,\n"
       "    \"arena/refs_high_water\": 12,\n"
+      "    \"soa//active\": 1,\n"
       "    \"flood/has_token\": 1\n"
       "}\n";
   EXPECT_EQ(stripReservedMetrics(json),

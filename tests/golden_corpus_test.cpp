@@ -92,7 +92,7 @@ std::string renderArtifacts(sim::Engine& engine, const sim::RunResult& r) {
   out << "messages_corrupted=" << r.messages_corrupted << "\n";
   std::uint64_t state = 1469598103934665603ull;
   for (sim::NodeId v = 0; v < engine.numNodes(); ++v) {
-    state = util::hashCombine(state, engine.process(v).stateDigest());
+    state = util::hashCombine(state, engine.stateDigest(v));
   }
   out << "state_digest=" << state << "\n";
   std::ostringstream trace;
@@ -115,12 +115,11 @@ std::string runCanonical(const sim::ProcessFactory& factory,
                          sim::Round rounds, std::uint64_t seed,
                          const faults::FaultConfig* fc = nullptr) {
   const sim::NodeId n = adversary->numNodes();
-  std::vector<std::unique_ptr<sim::Process>> ps;
-  for (sim::NodeId v = 0; v < n; ++v) {
-    ps.push_back(factory.create(v, n));
-  }
-  sim::Engine engine(std::move(ps), std::move(adversary),
-                     canonicalConfig(rounds), seed);
+  // Factory construction takes the shipping default path (soa_state ON for
+  // factories with an SoA model), so the .golden files pin the SoA engine
+  // against the repository history, not just the legacy object path.
+  sim::Engine engine(factory, std::move(adversary), canonicalConfig(rounds),
+                     seed);
   if (fc != nullptr) {
     engine.setFaultInjector(std::make_shared<const faults::FaultInjector>(
         faults::FaultPlan(n, *fc, seed ^ 0xFA), &factory));

@@ -131,6 +131,45 @@ TEST(StatsTool, DiffModeShowsDeltasNewAndRemoved) {
       << run.output;
 }
 
+TEST(StatsTool, DiffModeSplitsExecutionShapeGauges) {
+  // soa// gauges describe which engine path ran, so the diff must pull
+  // them out of the semantic gauge table into an execution-shape section
+  // where a difference is annotated as expected — and a change of state
+  // representation (soa//active) earns an explicit note.
+  obs::MetricsRegistry baseline;
+  baseline.gauge("engine/rounds")->set(50);
+  baseline.gauge("soa//active")->set(0);
+  baseline.gauge("soa//stride_workers")->set(1);
+  const std::string base_path = writeFixture("stats_shape_base.json", baseline);
+
+  obs::MetricsRegistry current;
+  current.gauge("engine/rounds")->set(50);
+  current.gauge("soa//active")->set(1);
+  current.gauge("soa//stride_workers")->set(1);
+  current.gauge("soa//lane_occupancy")->set(0.75);
+  const std::string cur_path = writeFixture("stats_shape_cur.json", current);
+
+  const ToolRun run =
+      runStats("--in " + cur_path + " --baseline " + base_path);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("execution shape (soa//)"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("(differs: expected)"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("(same)"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("(current only)"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("soa//lane_occupancy"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("different state representations"),
+            std::string::npos)
+      << run.output;
+  // The shape gauges must NOT leak into the semantic gauge diff: the
+  // semantic table would have tagged the one-sided lane gauge "(new)".
+  EXPECT_EQ(run.output.find("(new)"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("(removed)"), std::string::npos) << run.output;
+}
+
 TEST(StatsTool, MissingInputFlagExitsTwoWithUsage) {
   const ToolRun run = runStats("");
   EXPECT_EQ(run.exit_code, 2);

@@ -9,7 +9,11 @@
 //       two-run diff: counters and gauges side by side with deltas,
 //       histograms (count / mean / p95) side by side — e.g. the campaign
 //       scheduler's campaign// stage timings across two runs — plus
-//       metrics present in only one of the runs.
+//       metrics present in only one of the runs.  Gauges under the
+//       reserved soa// execution-shape prefix (state representation,
+//       stride workers, lane packing) get their own section where a
+//       difference is annotated as an expected configuration change, not
+//       a delta to chase.
 //
 // Malformed input (not JSON, wrong schema version) exits 1 with a message.
 #include <algorithm>
@@ -146,16 +150,31 @@ void printSummary(const obs::Json& root) {
   }
 }
 
+/// Execution-shape gauges live under the reserved `soa//` prefix
+/// (docs/OBSERVABILITY.md): they describe WHICH engine path ran (state
+/// representation, stride worker count, lane packing), not what the run
+/// computed, so a delta between two runs is a configuration difference,
+/// never a semantic regression.
+bool isShapeGauge(const std::string& name) {
+  return name.rfind("soa//", 0) == 0;
+}
+
 /// Diffs one scalar section ("counters" or "gauges") of two runs: values
-/// side by side with the delta, and rows for one-sided metrics.
+/// side by side with the delta, and rows for one-sided metrics.  Gauges
+/// under the soa// execution-shape prefix are excluded here and diffed by
+/// printShapeDiff instead.
 void printScalarDiff(const std::string& section, const obs::Json& current,
                      const obs::Json& baseline) {
+  const bool gauges = section == "gauges";
   const auto& cur = current.at(section).members();
   const auto& base = baseline.at(section).members();
   util::Table table({section.substr(0, section.size() - 1), "baseline",
                      "current", "delta"});
   bool any = false;
   for (const auto& [name, value] : cur) {
+    if (gauges && isShapeGauge(name)) {
+      continue;
+    }
     auto& row = table.row().cell(name);
     const auto it = base.find(name);
     if (it == base.end()) {
@@ -169,6 +188,9 @@ void printScalarDiff(const std::string& section, const obs::Json& current,
     any = true;
   }
   for (const auto& [name, value] : base) {
+    if (gauges && isShapeGauge(name)) {
+      continue;
+    }
     if (cur.find(name) == cur.end()) {
       table.row().cell(name).cell(value.number(), 3).cell("-").cell(
           "(removed)");
@@ -177,6 +199,58 @@ void printScalarDiff(const std::string& section, const obs::Json& current,
   }
   if (any) {
     std::cout << table.toString() << "\n";
+  }
+}
+
+/// Diffs the soa// execution-shape gauges of two runs.  Differences are
+/// annotated as expected configuration changes rather than deltas, and a
+/// change in soa//active (which state representation ran) gets an explicit
+/// note: the byte-identity contract says every semantic metric above must
+/// still match even when the shapes differ.
+void printShapeDiff(const obs::Json& current, const obs::Json& baseline) {
+  const auto& cur = current.at("gauges").members();
+  const auto& base = baseline.at("gauges").members();
+  util::Table table(
+      {"execution shape (soa//)", "baseline", "current", "note"});
+  bool any = false;
+  bool representation_changed = false;
+  for (const auto& [name, value] : cur) {
+    if (!isShapeGauge(name)) {
+      continue;
+    }
+    auto& row = table.row().cell(name);
+    const auto it = base.find(name);
+    if (it == base.end()) {
+      row.cell("-").cell(value.number(), 3).cell("(current only)");
+    } else if (value.number() == it->second.number()) {
+      row.cell(it->second.number(), 3).cell(value.number(), 3).cell("(same)");
+    } else {
+      row.cell(it->second.number(), 3)
+          .cell(value.number(), 3)
+          .cell("(differs: expected)");
+      if (name == "soa//active") {
+        representation_changed = true;
+      }
+    }
+    any = true;
+  }
+  for (const auto& [name, value] : base) {
+    if (!isShapeGauge(name) || cur.find(name) != cur.end()) {
+      continue;
+    }
+    table.row().cell(name).cell(value.number(), 3).cell("-").cell(
+        "(baseline only)");
+    any = true;
+  }
+  if (!any) {
+    return;
+  }
+  std::cout << table.toString() << "\n";
+  if (representation_changed) {
+    std::cout << "note: the two runs used different state representations"
+                 " (soa//active changed); soa// gauges describe execution"
+                 " shape and are expected to differ, but every semantic"
+                 " metric must still match byte for byte.\n\n";
   }
 }
 
@@ -260,6 +334,7 @@ int run(int argc, char** argv) {
   const obs::Json baseline = loadMetrics(baseline_path);
   printScalarDiff("counters", current, baseline);
   printScalarDiff("gauges", current, baseline);
+  printShapeDiff(current, baseline);
   printHistogramDiff(current, baseline);
   return 0;
 }
