@@ -46,6 +46,24 @@ build/bench/bench_sim_perf --quick \
 build/tools/dynet_stats --in "$obs_dir/bench_sim_metrics.json" \
   --baseline "$obs_dir/metrics.json" > /dev/null
 
+echo "=== dataset smoke (gen -> info -> compile -> byte-identical -> replay) ==="
+ds_dir="$(mktemp -d)"
+python3 scripts/gen_trace.py --nodes 24 --rounds 120 --seed 11 \
+  --out "$ds_dir/contacts.events"
+build/tools/dynet_cli --trace-info "$ds_dir/contacts.events" --no-trace-cache
+build/tools/dynet_cli --trace-compile "$ds_dir/contacts.events" \
+  --out "$ds_dir/a.dtc"
+build/tools/dynet_cli --trace-compile "$ds_dir/contacts.events" \
+  --out "$ds_dir/b.dtc"
+cmp "$ds_dir/a.dtc" "$ds_dir/b.dtc"  # recompile must be byte-identical
+# count terminates after its round budget, so exit 0 certifies all_done.
+build/tools/dynet_cli --protocol count --adversary trace \
+  --trace-path "$ds_dir/contacts.events" --trace-policy mirror \
+  --k 8 --max-rounds 4000 --seed 5
+build/bench/bench_trace_replay --quick \
+  --json-out="$ds_dir/BENCH_trace_replay.json" > /dev/null
+rm -rf "$ds_dir"
+
 echo "=== campaign kill-and-resume smoke ==="
 scripts/campaign_smoke.sh build/tools/dynet_cli
 

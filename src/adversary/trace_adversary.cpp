@@ -1,0 +1,205 @@
+#include "adversary/trace_adversary.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dynet::adv {
+
+namespace {
+
+bool isSpinePair(const net::Edge& e) { return e.b == e.a + 1; }
+
+/// Drops spine pairs from a delta list (the spine is pinned present).
+std::vector<net::Edge> filterSpine(const std::vector<net::Edge>& edges) {
+  std::vector<net::Edge> out;
+  out.reserve(edges.size());
+  for (const net::Edge& e : edges) {
+    if (!isSpinePair(e)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceReplayOptions::EndPolicy parseEndPolicy(const std::string& name) {
+  if (name == "wrap") {
+    return TraceReplayOptions::EndPolicy::kWrap;
+  }
+  if (name == "clamp") {
+    return TraceReplayOptions::EndPolicy::kClamp;
+  }
+  if (name == "mirror") {
+    return TraceReplayOptions::EndPolicy::kMirror;
+  }
+  DYNET_CHECK(false) << "unknown trace end policy '" << name
+                     << "' (want wrap, clamp, or mirror)";
+  __builtin_unreachable();
+}
+
+std::string endPolicyName(TraceReplayOptions::EndPolicy policy) {
+  switch (policy) {
+    case TraceReplayOptions::EndPolicy::kWrap:
+      return "wrap";
+    case TraceReplayOptions::EndPolicy::kClamp:
+      return "clamp";
+    case TraceReplayOptions::EndPolicy::kMirror:
+      return "mirror";
+  }
+  return "?";
+}
+
+TraceAdversary::TraceAdversary(
+    std::shared_ptr<const dataset::CompiledTrace> trace,
+    const TraceReplayOptions& options)
+    : trace_(std::move(trace)), options_(options) {
+  DYNET_CHECK(trace_ != nullptr) << "TraceAdversary needs a trace";
+  DYNET_CHECK(trace_->num_nodes >= 2)
+      << "trace " << trace_->source << ": replay needs >= 2 nodes, got "
+      << trace_->num_nodes;
+  const sim::NodeId n = trace_->num_nodes;
+
+  if (options_.spine) {
+    // Spine first — (0,1), (1,2), ... — then the trace's non-spine edges.
+    // The stable prefix keeps positional patches off the spine slots.
+    for (sim::NodeId v = 0; v + 1 < n; ++v) {
+      initial_.push_back({v, static_cast<sim::NodeId>(v + 1)});
+    }
+    for (const net::Edge& e : filterSpine(trace_->initial)) {
+      initial_.push_back(e);
+    }
+    deltas_.reserve(trace_->deltas.size());
+    for (const dataset::RoundDelta& d : trace_->deltas) {
+      deltas_.push_back({filterSpine(d.removed), filterSpine(d.added)});
+    }
+  } else {
+    initial_ = trace_->initial;
+    deltas_ = trace_->deltas;
+  }
+
+  if (options_.seeded_offset) {
+    offset_ = static_cast<sim::Round>(
+        util::hashCombine(options_.seed, 0x74726f6666736574ULL) %
+        static_cast<std::uint64_t>(trace_->rounds));
+  }
+}
+
+sim::Round TraceAdversary::tracePosition(sim::Round round) const {
+  const auto T = static_cast<std::int64_t>(trace_->rounds);
+  const std::int64_t raw =
+      static_cast<std::int64_t>(offset_) + (round - 1);
+  switch (options_.policy) {
+    case TraceReplayOptions::EndPolicy::kWrap:
+      return static_cast<sim::Round>(raw % T + 1);
+    case TraceReplayOptions::EndPolicy::kClamp:
+      return static_cast<sim::Round>(std::min(raw, T - 1) + 1);
+    case TraceReplayOptions::EndPolicy::kMirror: {
+      if (T == 1) {
+        return 1;
+      }
+      const std::int64_t period = 2 * T - 2;
+      const std::int64_t m = raw % period;
+      return static_cast<sim::Round>(m < T ? m + 1 : 2 * T - 1 - m);
+    }
+  }
+  return 1;
+}
+
+const dataset::RoundDelta& TraceAdversary::deltaInto(sim::Round pos) const {
+  // deltas_[i] transitions position i+1 -> i+2.
+  return deltas_[static_cast<std::size_t>(pos) - 2];
+}
+
+void TraceAdversary::resetToPosition(sim::Round pos) {
+  cur_edges_ = initial_;
+  for (sim::Round p = 2; p <= pos; ++p) {
+    const dataset::RoundDelta& d = deltaInto(p);
+    dataset::applyPositionalPatch(cur_edges_, d.removed, d.added,
+                                  trace_->source, p);
+  }
+}
+
+TraceAdversary::Step TraceAdversary::stepTo(sim::Round round) {
+  DYNET_CHECK(round == last_round_ + 1)
+      << "TraceAdversary must be stepped one round at a time (got round "
+      << round << " after " << last_round_ << ")";
+  last_round_ = round;
+  const sim::Round target = tracePosition(round);
+  Step step;
+  if (pos_ == target) {
+    pos_ = target;
+    return step;  // clamp (or T == 1): same topology again
+  }
+  step.moved = true;
+  if (pos_ != 0 && target == pos_ + 1) {
+    const dataset::RoundDelta& d = deltaInto(target);
+    step.removed = d.removed;
+    step.added = d.added;
+    step.patched = true;
+  } else if (pos_ != 0 && target == pos_ - 1) {
+    // Mirror descending: the inverse delta, applied positionally, walks
+    // the timeline backwards.
+    const dataset::RoundDelta& d = deltaInto(pos_);
+    step.removed = d.added;
+    step.added = d.removed;
+    step.patched = true;
+  }
+  if (step.patched) {
+    dataset::applyPositionalPatch(cur_edges_, step.removed, step.added,
+                                  trace_->source, target);
+  } else {
+    // First round, or a jump (wrap-around, seeded offset): rebuild from
+    // the start of the timeline.
+    resetToPosition(target);
+  }
+  pos_ = target;
+  return step;
+}
+
+net::GraphPtr TraceAdversary::topology(sim::Round round,
+                                       const sim::RoundObservation& obs) {
+  (void)obs;
+  const Step step = stepTo(round);
+  if (!step.moved && current_ != nullptr) {
+    return current_;
+  }
+  current_ = std::make_shared<net::Graph>(trace_->num_nodes, cur_edges_);
+  current_->warm();
+  return current_;
+}
+
+bool TraceAdversary::topologyUpdate(sim::Round round,
+                                    const sim::RoundObservation& obs,
+                                    const net::GraphPtr& prev,
+                                    sim::TopologyUpdate& out) {
+  (void)obs;
+  const Step step = stepTo(round);
+  if (!step.moved && current_ != nullptr) {
+    out.graph = current_;
+    out.is_delta = true;
+    return true;
+  }
+  if (step.patched && prev != nullptr) {
+    // applyPositionalPatch mirrors Graph::applyDelta, so this graph's
+    // edges() sequence equals cur_edges_ — the byte-identity invariant.
+    out.graph = prev->applyDelta(step.removed, step.added,
+                                 /*same_components=*/options_.spine);
+    out.is_delta = true;
+    out.edges_added = step.added.size();
+    out.edges_removed = step.removed.size();
+    current_ = out.graph;
+    return true;
+  }
+  current_ = std::make_shared<net::Graph>(trace_->num_nodes, cur_edges_);
+  current_->warm();
+  out.graph = current_;
+  out.is_delta = false;
+  return true;
+}
+
+}  // namespace dynet::adv

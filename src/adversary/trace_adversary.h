@@ -1,0 +1,89 @@
+// TraceAdversary: replays a compiled temporal-network trace
+// (src/dataset/) as the per-round topology.
+//
+// The adversary is a small state machine over the trace's edge-delta
+// timeline.  Both entry points — topology() and the delta-native
+// topologyUpdate() — advance the same internal edge list with the exact
+// positional-patch semantics of Graph::applyDelta, so the two engine
+// paths emit value-identical edges() sequences and runs stay
+// byte-identical across the flag matrix (the same contract every
+// synthetic adversary honors).
+//
+// Real traces are finite and usually disconnected in places, so two
+// knobs adapt them to the model:
+//
+//   * End-of-trace policy: wrap (loop back to round 1), clamp (freeze on
+//     the final topology), or mirror (ping-pong forward/backward).  A
+//     seeded round offset optionally starts each seed at a different
+//     trace window, so seed blocks explore the whole timeline.
+//   * Spine: overlay the path 0-1-...-(n-1) permanently (trace deltas
+//     touching spine pairs are dropped at construction).  Keeps every
+//     round connected, which the model's connectivity check demands;
+//     turn it off only with check_connectivity relaxed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dataset/trace.h"
+#include "sim/adversary.h"
+
+namespace dynet::adv {
+
+struct TraceReplayOptions {
+  enum class EndPolicy { kWrap, kClamp, kMirror };
+  EndPolicy policy = EndPolicy::kWrap;
+  /// Start the replay `hash(seed) % rounds` rounds into the trace.
+  bool seeded_offset = false;
+  std::uint64_t seed = 0;
+  /// Overlay the connectivity spine (see file comment).
+  bool spine = true;
+};
+
+/// Parses "wrap" / "clamp" / "mirror"; fails loudly otherwise.
+TraceReplayOptions::EndPolicy parseEndPolicy(const std::string& name);
+std::string endPolicyName(TraceReplayOptions::EndPolicy policy);
+
+class TraceAdversary : public sim::Adversary {
+ public:
+  TraceAdversary(std::shared_ptr<const dataset::CompiledTrace> trace,
+                 const TraceReplayOptions& options);
+
+  net::GraphPtr topology(sim::Round round,
+                         const sim::RoundObservation& obs) override;
+  bool topologyUpdate(sim::Round round, const sim::RoundObservation& obs,
+                      const net::GraphPtr& prev,
+                      sim::TopologyUpdate& out) override;
+  sim::NodeId numNodes() const override { return trace_->num_nodes; }
+
+  /// Trace position (1-based) the replay maps engine round `round` to.
+  sim::Round tracePosition(sim::Round round) const;
+
+ private:
+  struct Step {
+    bool moved = false;    // position changed since the last engine round
+    bool patched = false;  // moved by ±1 via a positional patch
+    std::vector<net::Edge> removed;
+    std::vector<net::Edge> added;
+  };
+
+  /// Advances cur_edges_ to the trace position of `round`; engine rounds
+  /// must arrive sequentially from 1.
+  Step stepTo(sim::Round round);
+  void resetToPosition(sim::Round pos);
+  const dataset::RoundDelta& deltaInto(sim::Round pos) const;
+
+  std::shared_ptr<const dataset::CompiledTrace> trace_;
+  TraceReplayOptions options_;
+  // Spine-filtered timeline: initial_ always starts with the spine edges.
+  std::vector<net::Edge> initial_;
+  std::vector<dataset::RoundDelta> deltas_;
+  sim::Round offset_ = 0;
+
+  sim::Round last_round_ = 0;  // last engine round served
+  sim::Round pos_ = 0;         // current trace position (0 = not started)
+  std::vector<net::Edge> cur_edges_;
+  net::GraphPtr current_;
+};
+
+}  // namespace dynet::adv

@@ -9,6 +9,8 @@
 #include "adversary/dual_graph.h"
 #include "adversary/dynamic_adversaries.h"
 #include "adversary/static_adversaries.h"
+#include "adversary/trace_adversary.h"
+#include "dataset/compiled_format.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "net/churn.h"
@@ -16,6 +18,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
+#include "protocols/anon_counting.h"
 #include "protocols/cflood.h"
 #include "protocols/consensus_known_d.h"
 #include "protocols/consensus_via_leader.h"
@@ -48,7 +51,8 @@ const std::vector<std::string>& protocolNames() {
   static const std::vector<std::string> names = {
       "flood",       "cflood",           "leader_known_d",
       "consensus_known_d", "count",      "hear_from_n",
-      "leader_unknown_d",  "consensus_unknown_d"};
+      "leader_unknown_d",  "consensus_unknown_d",
+      "anon_count",  "anon_size_estimate"};
   return names;
 }
 
@@ -56,7 +60,8 @@ const std::vector<std::string>& adversaryNames() {
   static const std::vector<std::string> names = {
       "static_path",  "static_star",   "static_ring", "static_torus",
       "random_tree",  "anchored_star", "rotating_star", "shuffle_path",
-      "interval",     "edge_churn",    "gnp",         "dual_ring"};
+      "interval",     "edge_churn",    "gnp",         "dual_ring",
+      "trace"};
   return names;
 }
 
@@ -88,6 +93,18 @@ std::unique_ptr<sim::ProcessFactory> makeProtocolFactory(
     const int k = shard.k > 0 ? shard.k : 128;
     return std::make_unique<proto::HearFromNFactory>(
         k, proto::countingRounds(k, diameter, n, 3), seed, 0.25);
+  }
+  if (shard.protocol == "anon_count") {
+    // Unconscious counting: the harness picks the round budget (it may use
+    // N and D; the anonymous protocol itself never reads either).
+    const int k = shard.k > 0 ? shard.k : 96;
+    return std::make_unique<proto::AnonCountingFactory>(
+        k, proto::countingRounds(k, diameter, n, 3), seed);
+  }
+  if (shard.protocol == "anon_size_estimate") {
+    const int k = shard.k > 0 ? shard.k : 32;
+    return std::make_unique<proto::AnonSizeEstimateFactory>(k, /*gamma=*/3,
+                                                            seed);
   }
   if (shard.protocol == "leader_unknown_d" ||
       shard.protocol == "consensus_unknown_d") {
@@ -150,6 +167,23 @@ std::unique_ptr<sim::Adversary> makeAdversary(const ShardConfig& shard,
   if (shard.adversary == "dual_ring") {
     return adv::makeRingWithChords(n, adv::DualGraphPolicy::kRandom,
                                    shard.p > 0 ? shard.p : 0.5, seed);
+  }
+  if (shard.adversary == "trace") {
+    DYNET_CHECK(!shard.trace.empty())
+        << "adversary 'trace' needs a trace path (shard config key 'trace')";
+    // Memoized across the campaign: many shards, one parse/cache read.
+    std::shared_ptr<const dataset::CompiledTrace> trace =
+        dataset::loadTraceShared(shard.trace,
+                                 {.bucket = shard.trace_bucket});
+    DYNET_CHECK(trace->num_nodes == n)
+        << "trace " << shard.trace << " has " << trace->num_nodes
+        << " node(s); shard n=" << n << " — pass n=" << trace->num_nodes;
+    adv::TraceReplayOptions options;
+    options.policy = adv::parseEndPolicy(shard.trace_policy);
+    options.seeded_offset = shard.trace_offset;
+    options.seed = seed;
+    options.spine = shard.trace_spine;
+    return std::make_unique<adv::TraceAdversary>(std::move(trace), options);
   }
   DYNET_CHECK(false) << "unknown adversary '" << shard.adversary << "'";
   return nullptr;  // unreachable
@@ -217,6 +251,12 @@ ShardResult runShard(const ShardConfig& shard, obs::MetricsRegistry* prof) {
         }
         sim::EngineConfig config;
         config.max_rounds = shard.max_rounds;
+        // The anon_* protocols are only meaningful under port numbering, so
+        // they force anonymous mode on regardless of the shard flag; the
+        // canonical JSON (and thus the shard hash) reflects only the
+        // explicit user choice.
+        config.anonymous =
+            shard.anonymous || shard.protocol.rfind("anon_", 0) == 0;
         sim::Engine engine(std::move(processes), makeAdversary(shard, seed),
                            config, seed, &ws);
         if (faulty) {

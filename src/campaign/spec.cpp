@@ -82,6 +82,27 @@ ShardFault parseFault(const obs::Json& json) {
   return f;
 }
 
+/// Shared shard/spec validation for the trace-replay knobs: the `trace`
+/// adversary and a trace path must come as a pair, and the replay options
+/// must name real policies.
+void validateTraceFields(const std::string& adversary, const std::string& trace,
+                         const std::string& trace_policy, double trace_bucket) {
+  DYNET_CHECK(trace_policy == "wrap" || trace_policy == "clamp" ||
+              trace_policy == "mirror")
+      << "trace_policy '" << trace_policy
+      << "' (expected wrap, clamp, or mirror)";
+  DYNET_CHECK(trace_bucket > 0)
+      << "trace_bucket=" << trace_bucket << " (need > 0)";
+  if (adversary == "trace") {
+    DYNET_CHECK(!trace.empty())
+        << "adversary 'trace' needs a 'trace' dataset path (docs/DATASETS.md)";
+  } else {
+    DYNET_CHECK(trace.empty())
+        << "'trace' path set but adversary is '" << adversary
+        << "' (only the 'trace' adversary replays a dataset)";
+  }
+}
+
 void validateZooNames(const std::vector<std::string>& names,
                       const std::vector<std::string>& valid,
                       const std::string& kind) {
@@ -136,6 +157,20 @@ std::string ShardConfig::canonicalJson() const {
   writeNumber(out, n_estimate);
   out << ",\"c\":";
   writeNumber(out, c);
+  // Trace/anonymous keys appear only when set away from their defaults, so
+  // every pre-trace shard hash (checkpoint filenames in the wild) is
+  // preserved byte for byte.
+  if (!trace.empty()) {
+    out << ",\"trace\":\"" << trace << "\",\"trace_policy\":\""
+        << trace_policy << "\",\"trace_offset\":"
+        << (trace_offset ? "true" : "false")
+        << ",\"trace_spine\":" << (trace_spine ? "true" : "false")
+        << ",\"trace_bucket\":";
+    writeNumber(out, trace_bucket);
+  }
+  if (anonymous) {
+    out << ",\"anonymous\":true";
+  }
   out << ",\"fault\":";
   writeFault(out, fault);
   out << "}";
@@ -150,7 +185,9 @@ ShardConfig parseShardConfig(const obs::Json& json) {
   rejectUnknownKeys(json,
                     {"protocol", "adversary", "n", "trials", "seed_base",
                      "max_rounds", "diameter", "k", "p", "interval", "churn",
-                     "n_estimate", "c", "fault"},
+                     "n_estimate", "c", "trace", "trace_policy",
+                     "trace_offset", "trace_spine", "trace_bucket",
+                     "anonymous", "fault"},
                     "shard config");
   ShardConfig shard;
   shard.protocol = json.at("protocol").str();
@@ -179,9 +216,17 @@ ShardConfig parseShardConfig(const obs::Json& json) {
   shard.churn = static_cast<int>(numberOr(json, "churn", 2));
   shard.n_estimate = numberOr(json, "n_estimate", 0);
   shard.c = numberOr(json, "c", 0.25);
+  shard.trace = stringOr(json, "trace", "");
+  shard.trace_policy = stringOr(json, "trace_policy", "wrap");
+  shard.trace_offset = boolOr(json, "trace_offset", false);
+  shard.trace_spine = boolOr(json, "trace_spine", true);
+  shard.trace_bucket = numberOr(json, "trace_bucket", 1.0);
+  shard.anonymous = boolOr(json, "anonymous", false);
   if (json.has("fault")) {
     shard.fault = parseFault(json.at("fault"));
   }
+  validateTraceFields(shard.adversary, shard.trace, shard.trace_policy,
+                      shard.trace_bucket);
   DYNET_CHECK(shard.n >= 2) << "shard n=" << shard.n << " (need >= 2 nodes)";
   DYNET_CHECK(shard.trials >= 1) << "shard trials=" << shard.trials;
   DYNET_CHECK(shard.max_rounds >= 1)
@@ -200,7 +245,9 @@ CampaignSpec CampaignSpec::parse(const std::string& json_text) {
   rejectUnknownKeys(root,
                     {"name", "protocols", "adversaries", "nodes", "faults",
                      "seeds", "max_rounds", "diameter", "k", "p", "interval",
-                     "churn", "n_estimate", "c", "retry"},
+                     "churn", "n_estimate", "c", "trace", "trace_policy",
+                     "trace_offset", "trace_spine", "trace_bucket",
+                     "anonymous", "retry"},
                     "campaign spec");
   CampaignSpec spec;
   spec.name = stringOr(root, "name", "campaign");
@@ -246,6 +293,16 @@ CampaignSpec CampaignSpec::parse(const std::string& json_text) {
   spec.churn = static_cast<int>(numberOr(root, "churn", 2));
   spec.n_estimate = numberOr(root, "n_estimate", 0);
   spec.c = numberOr(root, "c", 0.25);
+  spec.trace = stringOr(root, "trace", "");
+  spec.trace_policy = stringOr(root, "trace_policy", "wrap");
+  spec.trace_offset = boolOr(root, "trace_offset", false);
+  spec.trace_spine = boolOr(root, "trace_spine", true);
+  spec.trace_bucket = numberOr(root, "trace_bucket", 1.0);
+  spec.anonymous = boolOr(root, "anonymous", false);
+  for (const std::string& adversary : spec.adversaries) {
+    validateTraceFields(adversary, spec.trace, spec.trace_policy,
+                        spec.trace_bucket);
+  }
 
   if (root.has("retry")) {
     const obs::Json& retry = root.at("retry");
@@ -307,6 +364,12 @@ std::vector<ShardConfig> CampaignSpec::expandShards() const {
             shard.churn = churn;
             shard.n_estimate = n_estimate;
             shard.c = c;
+            shard.trace = trace;
+            shard.trace_policy = trace_policy;
+            shard.trace_offset = trace_offset;
+            shard.trace_spine = trace_spine;
+            shard.trace_bucket = trace_bucket;
+            shard.anonymous = anonymous;
             shard.fault = fault;
             shards.push_back(std::move(shard));
           }

@@ -87,6 +87,17 @@ struct ShardConfig {
   int churn = 2;
   double n_estimate = 0;  // 0 = 1.1 * n
   double c = 0.25;
+  // Trace replay (adversary == "trace"; docs/DATASETS.md).  All of these
+  // are emitted into the canonical JSON only when set away from their
+  // defaults, so shard hashes of non-trace campaigns are unchanged.
+  std::string trace;                 // dataset path ("" = no trace)
+  std::string trace_policy = "wrap"; // end-of-trace: wrap | clamp | mirror
+  bool trace_offset = false;         // seeded per-trial round offset
+  bool trace_spine = true;           // connectivity spine overlay
+  double trace_bucket = 1.0;         // event-list time-bucket width
+  /// Anonymous-network mode (EngineConfig::anonymous).  The anon_*
+  /// protocols force it on at execution time regardless of this flag.
+  bool anonymous = false;
   ShardFault fault;
 
   /// Single-line JSON with a fixed key order and round-trippable number
@@ -120,6 +131,12 @@ struct CampaignSpec {
   int churn = 2;
   double n_estimate = 0;
   double c = 0.25;
+  std::string trace;
+  std::string trace_policy = "wrap";
+  bool trace_offset = false;
+  bool trace_spine = true;
+  double trace_bucket = 1.0;
+  bool anonymous = false;
   RetryPolicy retry;
 
   /// Parses + validates spec JSON text (docs/CAMPAIGNS.md).  Unknown keys,

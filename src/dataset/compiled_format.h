@@ -1,0 +1,76 @@
+// Versioned binary cache for compiled traces.
+//
+// Layout of a .dtc file:
+//
+//   8 bytes   magic "DYNTRC01"
+//   payload   little-endian fixed-width fields (see serializeTrace)
+//   8 bytes   FNV-1a 64 of the payload bytes (torn-tail detection)
+//
+// The payload embeds the *source* hash (FNV-1a of the raw text bytes the
+// trace was compiled from) and the bucket width, so loadTrace() can tell
+// whether a sidecar cache is fresh without parsing the text; the trailing
+// *payload* hash catches a writer killed mid-dump.  Readers fail loudly
+// with byte offsets on any truncation or corruption — a torn cache must
+// never silently replay a shorter trace.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dataset/text_format.h"
+#include "dataset/trace.h"
+
+namespace dynet::dataset {
+
+inline constexpr char kCompiledMagic[8] = {'D', 'Y', 'N', 'T',
+                                           'R', 'C', '0', '1'};
+inline constexpr std::uint32_t kCompiledVersion = 1;
+
+/// Serializes the payload section (everything between magic and trailing
+/// hash).  Deterministic: equal traces serialize to equal bytes.
+std::string serializeTrace(const CompiledTrace& trace);
+
+/// Parses a full .dtc byte string (magic + payload + trailing hash);
+/// `name` labels diagnostics.  Fails loudly with the byte offset on
+/// truncation, bad magic, version skew, or payload-hash mismatch.
+CompiledTrace parseCompiled(const std::string& bytes, const std::string& name);
+
+/// Content identity of a compiled trace: FNV-1a of its serialized payload.
+/// This is the digest goldens pin and what the trailing file hash stores.
+std::uint64_t contentHash(const CompiledTrace& trace);
+
+void writeCompiledFile(const std::string& path, const CompiledTrace& trace);
+CompiledTrace readCompiledFile(const std::string& path);
+
+/// True if the file at `path` starts with the compiled magic.
+bool isCompiledFile(const std::string& path);
+
+struct LoadOptions {
+  /// Event-list bucket width (must match for a cache hit).
+  double bucket = 1.0;
+  /// Read a fresh sidecar `<path>.dtc` instead of parsing text.
+  bool use_cache = true;
+  /// Write the sidecar after a text parse (best-effort; a read-only
+  /// dataset directory downgrades to parsing every time, not an error).
+  bool write_cache = true;
+};
+
+struct LoadedTrace {
+  std::shared_ptr<const CompiledTrace> trace;
+  bool from_cache = false;      // served from .dtc instead of text parse
+  std::string cache_path;       // sidecar path ("" when path was a .dtc)
+};
+
+/// Loads a trace from `path`, which may be a compiled .dtc file, an
+/// event-list text file, or a snapshot+diff directory.  Text sources use
+/// the sidecar cache per `options`; a stale sidecar (source bytes or
+/// bucket changed) is ignored and rewritten, and a *corrupt* sidecar is a
+/// hard error — silent fallback would mask torn writes forever.
+LoadedTrace loadTrace(const std::string& path, const LoadOptions& options = {});
+
+/// Process-wide memoized loadTrace (keyed by path + bucket), so a campaign
+/// running many shards against one trace parses/reads it once.  Thread-safe.
+std::shared_ptr<const CompiledTrace> loadTraceShared(
+    const std::string& path, const LoadOptions& options = {});
+
+}  // namespace dynet::dataset

@@ -1,0 +1,64 @@
+// Text parsers for the two on-disk trace formats.
+//
+// 1. Event list (DynaWAVE-style): one `start end u v` record per line,
+//    whitespace-separated, in any order.  Timestamps may be fractional;
+//    ParseOptions::bucket buckets them into 1-based rounds of width
+//    `bucket` anchored at the smallest start time.  Node tokens are
+//    arbitrary labels (g1a, 42, alice) compacted to dense ids in
+//    first-appearance order.  `#` comments and blank lines are skipped.
+//
+// 2. Snapshot+diff directory (tnetwork/dynamo-style): `sn/<i>.edges`
+//    snapshot files numbered consecutively from 1, one `u v` edge per
+//    line; optionally `diff/<i>.diff` files (from i=2) whose `+ u v` /
+//    `- u v` lines are validated against the snapshot pair they claim to
+//    connect — a mismatch is a hard error, never a silent patch-over.
+//
+// All failures throw via DYNET_CHECK with file:line diagnostics, the same
+// discipline as the obs::Json byte-offset errors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dataset/trace.h"
+
+namespace dynet::dataset {
+
+struct ParseOptions {
+  /// Event-list time-bucket width; round(t) = floor((t - t_min)/bucket)+1.
+  /// Must be > 0.  Ignored by the snapshot+diff parser (snapshots are
+  /// already rounds).
+  double bucket = 1.0;
+};
+
+/// Parses event-list text from `in`; `name` labels diagnostics.  The
+/// stream is hashed as it is read, so source_hash covers exactly the
+/// parsed bytes.
+TraceEvents parseEventList(std::istream& in, const std::string& name,
+                           const ParseOptions& options = {});
+
+TraceEvents parseEventListFile(const std::string& path,
+                               const ParseOptions& options = {});
+
+/// Parses a snapshot+diff directory (must contain `sn/`).
+TraceEvents parseSnapshotDir(const std::string& dir);
+
+/// True if `path` is a directory (snapshot+diff layout) as opposed to an
+/// event-list or compiled file.
+bool isTraceDir(const std::string& path);
+
+/// Source identity of a text trace without parsing it: FNV-1a of the raw
+/// file bytes, or for a snapshot+diff dir a chained hash over
+/// `sn/<i>.edges` then `diff/<i>.diff` (name + contents, NUL-separated, in
+/// numeric order).  Exactly what the parsers store in
+/// TraceEvents::source_hash — the cheap freshness check behind the
+/// compiled-cache fast path.
+std::uint64_t sourceHash(const std::string& path);
+
+/// Writes `trace` back out as event-list text (one line per maximal
+/// activity interval, rounds as integer timestamps).  Round-trips through
+/// parseEventList + compile to an equal CompiledTrace (modulo source
+/// naming); used by fixture generation and the bench.
+void writeEventList(std::ostream& out, const CompiledTrace& trace);
+
+}  // namespace dynet::dataset

@@ -1,0 +1,252 @@
+#include "protocols/anon_counting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace dynet::proto {
+
+namespace {
+// Wire format shared with protocols/counting.cpp: coordinate index +
+// encodeReal16 minimum.  The size-estimate variant prepends a halt bit;
+// halted messages reuse the value field for the declared count.
+constexpr int kCoordBits = 10;
+constexpr int kValueBits = 16;
+constexpr int kHaltBits = 1;
+
+double finiteCoord(const MinVector& mins, int coord) {
+  const double v = mins.coordinate(coord);
+  return std::isinf(v) ? 0.0 : v;
+}
+}  // namespace
+
+// --- AnonCountingProcess ---------------------------------------------------
+
+AnonCountingProcess::AnonCountingProcess(int k, sim::Round total_rounds,
+                                         std::uint64_t exp_seed)
+    : k_(k), total_rounds_(total_rounds), mins_(k) {
+  DYNET_CHECK(k_ >= 1 && k_ < (1 << kCoordBits)) << "k=" << k_;
+  DYNET_CHECK(total_rounds_ >= 1) << "total_rounds=" << total_rounds_;
+  util::Rng rng(exp_seed);
+  mins_.contribute(rng);
+}
+
+sim::Action AnonCountingProcess::onRound(sim::Round round,
+                                         util::CoinStream& coins) {
+  sim::Action action;
+  if (coins.coin()) {
+    const int coord = static_cast<int>((round - 1) % k_);
+    action.send = true;
+    action.msg = sim::MessageBuilder()
+                     .put(static_cast<std::uint64_t>(coord), kCoordBits)
+                     .put(util::encodeReal16(finiteCoord(mins_, coord)),
+                          kValueBits)
+                     .build();
+  }
+  return action;
+}
+
+void AnonCountingProcess::onDeliver(sim::Round round, bool /*sent*/,
+                                    std::span<const sim::Message> received) {
+  for (const sim::Message& msg : received) {
+    sim::MessageReader reader(msg);
+    const int coord = static_cast<int>(reader.get(kCoordBits));
+    const double value = util::decodeReal16(
+        static_cast<std::uint16_t>(reader.get(kValueBits)));
+    if (value > 0.0 && value < mins_.coordinate(coord)) {
+      mins_.merge(coord, value);
+      last_change_round_ = round;
+    }
+  }
+  if (round >= total_rounds_) {
+    done_ = true;
+  }
+}
+
+std::uint64_t AnonCountingProcess::output() const {
+  return static_cast<std::uint64_t>(std::llround(estimate() * 256.0));
+}
+
+std::uint64_t AnonCountingProcess::stateDigest() const {
+  std::uint64_t h = 0xa11ca11ca11ca11cULL;
+  for (int j = 0; j < k_; ++j) {
+    h = util::hashCombine(h, util::encodeReal16(finiteCoord(mins_, j)));
+  }
+  return util::hashCombine(h, static_cast<std::uint64_t>(last_change_round_));
+}
+
+void AnonCountingProcess::exportMetrics(
+    std::vector<std::pair<std::string, double>>& out) const {
+  out.emplace_back("anon/estimate", estimate());
+  out.emplace_back("anon/last_change_round",
+                   static_cast<double>(last_change_round_));
+}
+
+AnonCountingFactory::AnonCountingFactory(int k, sim::Round total_rounds,
+                                         std::uint64_t master_seed)
+    : k_(k), total_rounds_(total_rounds), master_seed_(master_seed) {}
+
+std::unique_ptr<sim::Process> AnonCountingFactory::create(
+    sim::NodeId node, sim::NodeId /*num_nodes*/) const {
+  // The node index seeds the simulator's bookkeeping for *private*
+  // randomness — the per-node exponentials the model grants anonymous
+  // nodes — and is never visible to the protocol logic.
+  return std::make_unique<AnonCountingProcess>(
+      k_, total_rounds_,
+      util::privateSeed(master_seed_, static_cast<std::uint64_t>(node)));
+}
+
+// --- AnonSizeEstimateProcess -----------------------------------------------
+
+AnonSizeEstimateProcess::AnonSizeEstimateProcess(int k, int gamma, bool leader,
+                                                 std::uint64_t exp_seed)
+    : k_(k), gamma_(gamma), leader_(leader), mins_(k) {
+  DYNET_CHECK(k_ >= 1 && k_ < (1 << kCoordBits)) << "k=" << k_;
+  DYNET_CHECK(gamma_ >= 1) << "gamma=" << gamma_;
+  util::Rng rng(exp_seed);
+  mins_.contribute(rng);
+}
+
+AnonSizeEstimateProcess::PhasePos AnonSizeEstimateProcess::locate(
+    sim::Round round) const {
+  // Phase p has length k * gamma * 2^p, so end(p) = k*gamma*(2^(p+1)-1).
+  std::int64_t end = 0;
+  int p = 0;
+  for (;; ++p) {
+    end += static_cast<std::int64_t>(k_) * gamma_ * (std::int64_t{1} << p);
+    if (round <= end ||
+        end > std::numeric_limits<sim::Round>::max() / 2) {
+      break;
+    }
+  }
+  return {p, static_cast<sim::Round>(std::min<std::int64_t>(
+                 end, std::numeric_limits<sim::Round>::max()))};
+}
+
+sim::Action AnonSizeEstimateProcess::onRound(sim::Round round,
+                                             util::CoinStream& coins) {
+  sim::Action action;
+  if (halted_) {
+    // Flood the declaration: halted nodes always send, so every
+    // still-listening neighbor hears the halt whp within O(log) rounds of
+    // contact.  Coins are still drawn so the action stays a pure function
+    // of (state, coins) regardless of when the halt arrived.
+    (void)coins.coin();
+    action.send = true;
+    action.msg = sim::MessageBuilder()
+                     .put(1, kHaltBits)
+                     .put(0, kCoordBits)
+                     .put(util::encodeReal16(declared_), kValueBits)
+                     .build();
+    return action;
+  }
+  if (coins.coin()) {
+    const int coord = static_cast<int>((round - 1) % k_);
+    action.send = true;
+    action.msg = sim::MessageBuilder()
+                     .put(0, kHaltBits)
+                     .put(static_cast<std::uint64_t>(coord), kCoordBits)
+                     .put(util::encodeReal16(finiteCoord(mins_, coord)),
+                          kValueBits)
+                     .build();
+  }
+  return action;
+}
+
+void AnonSizeEstimateProcess::onDeliver(sim::Round round, bool /*sent*/,
+                                        std::span<const sim::Message> received) {
+  sim::Round last_change = -1;
+  for (const sim::Message& msg : received) {
+    sim::MessageReader reader(msg);
+    const bool halt = reader.get(kHaltBits) != 0;
+    const int coord = static_cast<int>(reader.get(kCoordBits));
+    const double value = util::decodeReal16(
+        static_cast<std::uint16_t>(reader.get(kValueBits)));
+    if (halt) {
+      if (!halted_) {
+        halted_ = true;
+        declared_ = value;
+        halt_round_ = round;
+      }
+      continue;
+    }
+    if (value > 0.0 && value < mins_.coordinate(coord)) {
+      mins_.merge(coord, value);
+      last_change = round;
+    }
+  }
+  if (halted_) {
+    return;
+  }
+  if (last_change >= 0) {
+    last_change_round_ = last_change;
+  }
+  const PhasePos pos = locate(round);
+  phases_run_ = pos.phase + 1;
+  if (leader_ && round == pos.phase_end) {
+    // Declare when the estimate fits the guess G = 2^p AND no coordinate
+    // moved during the second half of the phase — the stability guard that
+    // stands in for the verification an anonymous node cannot perform.
+    // An adversary (or a trace that mixes slower than the guess) can still
+    // force an undercount; that gap is exactly the cost-of-anonymity
+    // phenomenon the benches measure.
+    const double guess = static_cast<double>(std::int64_t{1} << pos.phase);
+    const double est = mins_.estimate();
+    const std::int64_t phase_len =
+        static_cast<std::int64_t>(k_) * gamma_ * (std::int64_t{1} << pos.phase);
+    const bool stable =
+        last_change_round_ <= pos.phase_end - static_cast<sim::Round>(
+                                                  phase_len / 2);
+    if (est > 0.0 && est <= guess && stable) {
+      halted_ = true;
+      // Store the wire-quantized value: the declaration every other node
+      // adopts goes through encodeReal16, and all nodes must terminate
+      // with the SAME count, leader included.
+      declared_ = util::decodeReal16(util::encodeReal16(est));
+      declare_round_ = round;
+      halt_round_ = round;
+    }
+  }
+}
+
+std::uint64_t AnonSizeEstimateProcess::output() const {
+  return static_cast<std::uint64_t>(std::llround(declared_ * 256.0));
+}
+
+std::uint64_t AnonSizeEstimateProcess::stateDigest() const {
+  std::uint64_t h = 0x5e57e57e5e57e57eULL;
+  for (int j = 0; j < k_; ++j) {
+    h = util::hashCombine(h, util::encodeReal16(finiteCoord(mins_, j)));
+  }
+  h = util::hashCombine(h, halted_ ? 1u : 0u);
+  h = util::hashCombine(h, util::encodeReal16(declared_));
+  return h;
+}
+
+void AnonSizeEstimateProcess::exportMetrics(
+    std::vector<std::pair<std::string, double>>& out) const {
+  out.emplace_back("anon/halted", halted_ ? 1.0 : 0.0);
+  out.emplace_back("anon/halt_round", static_cast<double>(halt_round_));
+  out.emplace_back("anon/estimate", mins_.estimate());
+  if (leader_) {
+    out.emplace_back("anon/declare_round",
+                     static_cast<double>(declare_round_));
+    out.emplace_back("anon/phases", static_cast<double>(phases_run_));
+  }
+}
+
+AnonSizeEstimateFactory::AnonSizeEstimateFactory(int k, int gamma,
+                                                 std::uint64_t master_seed)
+    : k_(k), gamma_(gamma), master_seed_(master_seed) {}
+
+std::unique_ptr<sim::Process> AnonSizeEstimateFactory::create(
+    sim::NodeId node, sim::NodeId /*num_nodes*/) const {
+  return std::make_unique<AnonSizeEstimateProcess>(
+      k_, gamma_, /*leader=*/node == 0,
+      util::privateSeed(master_seed_, static_cast<std::uint64_t>(node)));
+}
+
+}  // namespace dynet::proto

@@ -1,0 +1,122 @@
+// Anonymous-network counting and size estimation (Di Luna & Baldoni,
+// "Investigating the Cost of Anonymity on Dynamic Networks"; PAPERS.md).
+//
+// Both protocols run under EngineConfig::anonymous: nodes have no usable
+// identities — delivery order is port-numbered per round — and never put
+// an id on the wire.  They reuse the exponential-minima machinery of
+// protocols/counting.h (MinVector), whose messages are already id-free.
+//
+//   * AnonCountingProcess — unconscious counting: every node contributes
+//     k Exponential(1) minima and gossips coordinate-wise minima for a
+//     fixed round budget (chosen by the harness, which may know N; the
+//     protocol itself never reads it).  Exports when its estimate last
+//     moved, the convergence signal the anonymity-cost figures plot.
+//
+//   * AnonSizeEstimateProcess — conscious counting with a distinguished
+//     leader (part of the Di Luna–Baldoni model): the leader runs
+//     doubling phases with guess G = 2^p; each phase gossips minima for
+//     k·gamma·G rounds, and at the phase boundary the leader declares
+//     N-hat = estimate once the estimate is positive and <= G.  The
+//     declaration then floods as a halt bit carrying the declared value,
+//     so every node terminates with the leader's count — the
+//     estimate-then-commit structure the paper's unknown-diameter
+//     protocols share (protocols/leader_unknown_d.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "protocols/majority.h"
+#include "sim/process.h"
+
+namespace dynet::proto {
+
+class AnonCountingProcess : public sim::Process {
+ public:
+  AnonCountingProcess(int k, sim::Round total_rounds, std::uint64_t exp_seed);
+
+  sim::Action onRound(sim::Round round, util::CoinStream& coins) override;
+  void onDeliver(sim::Round round, bool sent,
+                 std::span<const sim::Message> received) override;
+  bool done() const override { return done_; }
+  /// Fixed-point estimate: round(estimate * 256).
+  std::uint64_t output() const override;
+  std::uint64_t stateDigest() const override;
+  void exportMetrics(
+      std::vector<std::pair<std::string, double>>& out) const override;
+
+  double estimate() const { return mins_.estimate(); }
+
+ private:
+  int k_;
+  sim::Round total_rounds_;
+  MinVector mins_;
+  sim::Round last_change_round_ = 0;  // last round a coordinate improved
+  bool done_ = false;
+};
+
+class AnonCountingFactory : public sim::ProcessFactory {
+ public:
+  AnonCountingFactory(int k, sim::Round total_rounds,
+                      std::uint64_t master_seed);
+
+  std::unique_ptr<sim::Process> create(sim::NodeId node,
+                                       sim::NodeId num_nodes) const override;
+
+ private:
+  int k_;
+  sim::Round total_rounds_;
+  std::uint64_t master_seed_;
+};
+
+class AnonSizeEstimateProcess : public sim::Process {
+ public:
+  /// `leader` marks the one distinguished node (the factory passes
+  /// node == 0); everyone else is anonymous.
+  AnonSizeEstimateProcess(int k, int gamma, bool leader,
+                          std::uint64_t exp_seed);
+
+  sim::Action onRound(sim::Round round, util::CoinStream& coins) override;
+  void onDeliver(sim::Round round, bool sent,
+                 std::span<const sim::Message> received) override;
+  bool done() const override { return halted_; }
+  /// Fixed-point declared count: round(declared * 256); 0 until halted.
+  std::uint64_t output() const override;
+  std::uint64_t stateDigest() const override;
+  void exportMetrics(
+      std::vector<std::pair<std::string, double>>& out) const override;
+
+  /// Phase of `round` and the round the phase ends on (inclusive).
+  struct PhasePos {
+    int phase;
+    sim::Round phase_end;
+  };
+  PhasePos locate(sim::Round round) const;
+
+ private:
+  int k_;
+  int gamma_;
+  bool leader_;
+  MinVector mins_;
+  bool halted_ = false;
+  double declared_ = 0.0;
+  sim::Round declare_round_ = -1;  // leader only: when it declared
+  sim::Round halt_round_ = -1;     // when the halt bit reached this node
+  sim::Round last_change_round_ = 0;
+  int phases_run_ = 0;
+};
+
+class AnonSizeEstimateFactory : public sim::ProcessFactory {
+ public:
+  AnonSizeEstimateFactory(int k, int gamma, std::uint64_t master_seed);
+
+  std::unique_ptr<sim::Process> create(sim::NodeId node,
+                                       sim::NodeId num_nodes) const override;
+
+ private:
+  int k_;
+  int gamma_;
+  std::uint64_t master_seed_;
+};
+
+}  // namespace dynet::proto

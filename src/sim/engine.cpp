@@ -38,7 +38,9 @@ Engine::Engine(const ProcessFactory& factory,
   DYNET_CHECK(adversary_ != nullptr) << "no adversary";
   n_ = adversary_->numNodes();
   DYNET_CHECK(n_ >= 1) << "adversary has " << n_ << " nodes";
-  if (config_.soa_state) {
+  // Anonymous mode keeps the object path: SoA models address state by
+  // real node id, which is exactly what the mode hides.
+  if (config_.soa_state && !config_.anonymous) {
     soa_ = factory.createSoA(n_);
   }
   if (soa_ == nullptr) {

@@ -82,6 +82,17 @@ struct EngineConfig {
   /// util::ThreadPool::shared() thread; k > 1 pins exactly k workers.
   /// Ignored on the object path.
   int node_threads = 1;
+  /// Anonymous-network mode (Di Luna–Baldoni, docs/DATASETS.md): the
+  /// engine stops exposing node identities through delivery order.  The
+  /// canonical ascending-sender inbox is re-numbered into ports by a
+  /// deterministic per-(receiver, round) permutation — ports are stable
+  /// within a round, unrelated across rounds — and MessageRef::sender
+  /// carries the port, not the node id.  Off (the default) is byte-
+  /// identical to pre-anonymous behavior: the flag is never read outside
+  /// delivery (pinned by tests/anon_test.cpp, --no-telemetry pattern).
+  /// Anonymous runs force the object process path (SoA models index state
+  /// by real node id).
+  bool anonymous = false;
   /// Stop as soon as every process reports done().  With a FaultInjector,
   /// crashed nodes are exempt: the run stops when every live node is done.
   bool stop_when_all_done = true;

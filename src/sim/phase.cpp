@@ -265,6 +265,28 @@ void AdversaryPhase::run(RoundContext& ctx) {
 
 namespace {
 
+// Anonymous-mode port permutation (EngineConfig::anonymous): the inbox a
+// receiver sees is the canonical ascending-sender list reordered by a
+// Fisher-Yates shuffle keyed on (seed, receiver, round) — ports are stable
+// within a round and carry no identity across rounds.  Both delivery paths
+// build the same base order (the fuzz-diff contract), so applying the same
+// keyed shuffle keeps them byte-identical to each other.
+std::uint64_t anonKey(const RoundContext& ctx, NodeId v) {
+  return util::hashCombine(
+      util::hashCombine(ctx.seed ^ 0x616e6f6e706f7274ULL,
+                        static_cast<std::uint64_t>(v)),
+      static_cast<std::uint64_t>(ctx.round));
+}
+
+template <typename T>
+void anonShuffle(std::vector<T>& items, const RoundContext& ctx, NodeId v) {
+  util::Rng rng(anonKey(ctx, v));
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
 // Arena delivery: one bump arena owns every ref span, corrupted payload
 // copy, and shim inbox slot for the round; receivers that opted in via
 // wantsMessageRefs() get zero-copy MessageRef spans pointing straight at
@@ -333,7 +355,17 @@ void deliverThroughArena(RoundContext& ctx) {
         arena.pushRef(u, &a.msg);
       }
     }
-    const std::span<const MessageRef> refs = arena.refs();
+    std::span<const MessageRef> refs = arena.refs();
+    if (ctx.config->anonymous) {
+      ws.anon_refs.assign(refs.begin(), refs.end());
+      anonShuffle(ws.anon_refs, ctx, v);
+      for (std::size_t i = 0; i < ws.anon_refs.size(); ++i) {
+        // Re-number the sender field into the port index: the receiver
+        // learns "port i spoke", never which node sits behind it.
+        ws.anon_refs[i].sender = static_cast<NodeId>(i);
+      }
+      refs = ws.anon_refs;
+    }
     if (wants_refs[vi] != 0) {
       p.onDeliverRefs(ctx.round, false, refs);
     } else {
@@ -412,6 +444,9 @@ void DeliveryPhase::run(RoundContext& ctx) {
         }
       }
       ws.inbox.push_back(msg);
+    }
+    if (ctx.config->anonymous) {
+      anonShuffle(ws.inbox, ctx, v);
     }
     processes[static_cast<std::size_t>(v)]->onDeliver(ctx.round, false,
                                                       ws.inbox);

@@ -66,6 +66,10 @@ struct EngineWorkspace {
   /// (sim/soa_exec.h); merged into the RunResult after the join.
   std::vector<std::uint64_t> stride_dropped;
   std::vector<std::uint64_t> stride_corrupted;
+  /// Anonymous-mode delivery scratch (EngineConfig::anonymous): the
+  /// current receiver's refs, copied out of the arena so the port
+  /// permutation can reorder and re-number them.  Unused otherwise.
+  std::vector<MessageRef> anon_refs;
   /// This round's sending nodes in ascending order, collected by the serial
   /// SoA compute walk so fault-free delivery can iterate senders (push
   /// model) instead of scanning every node (sim/soa_exec.h).  Empty and
@@ -89,6 +93,7 @@ struct EngineWorkspace {
     soa.reset();
     stride_dropped.clear();
     stride_corrupted.clear();
+    anon_refs.clear();
     soa_senders.clear();
   }
 };

@@ -30,6 +30,8 @@
 #include "adversary/churn_adversaries.h"
 #include "adversary/dynamic_adversaries.h"
 #include "adversary/static_adversaries.h"
+#include "adversary/trace_adversary.h"
+#include "dataset/trace.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "net/graph.h"
@@ -57,7 +59,7 @@ struct FuzzConfig {
   faults::FaultConfig fc;
 };
 
-constexpr int kAdversaryKinds = 9;
+constexpr int kAdversaryKinds = 10;
 
 std::unique_ptr<Adversary> makeAdversary(const FuzzConfig& c) {
   switch (c.adversary) {
@@ -78,9 +80,30 @@ std::unique_ptr<Adversary> makeAdversary(const FuzzConfig& c) {
     case 7:
       return std::make_unique<adv::EdgeChurnAdversary>(
           c.n, 1 + static_cast<int>(c.adv_seed % 4), c.adv_seed);
-    default:
+    case 8:
       return std::make_unique<adv::RandomGraphAdversary>(
           c.n, 0.2 + 0.1 * static_cast<double>(c.adv_seed % 5), c.adv_seed);
+    default: {
+      // Dataset replay: a synthetic trace deliberately SHORTER than the run
+      // (c.rounds/3) so every end policy wraps/clamps/mirrors mid-run, with
+      // the policy and seeded round-offset drawn from adv_seed.  This pulls
+      // the whole dataset→TraceAdversary delta pipeline into the eight-combo
+      // flag matrix.
+      const sim::Round trace_rounds = std::max<sim::Round>(4, c.rounds / 3);
+      auto trace = std::make_shared<const dataset::CompiledTrace>(
+          dataset::randomTrace(c.n, trace_rounds,
+                               1 + static_cast<int>(c.adv_seed % 3),
+                               c.adv_seed));
+      adv::TraceReplayOptions options;
+      switch (c.adv_seed % 3) {
+        case 0: options.policy = adv::TraceReplayOptions::EndPolicy::kWrap; break;
+        case 1: options.policy = adv::TraceReplayOptions::EndPolicy::kClamp; break;
+        default: options.policy = adv::TraceReplayOptions::EndPolicy::kMirror;
+      }
+      options.seeded_offset = (c.adv_seed / 3) % 2 == 0;
+      options.seed = c.adv_seed;
+      return std::make_unique<adv::TraceAdversary>(std::move(trace), options);
+    }
   }
 }
 

@@ -28,7 +28,11 @@
 
 #include "adversary/churn_adversaries.h"
 #include "adversary/dynamic_adversaries.h"
+#include "adversary/trace_adversary.h"
 #include "cc/disjointness_cp.h"
+#include "dataset/compiled_format.h"
+#include "dataset/text_format.h"
+#include "dataset/trace.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "lowerbound/composition.h"
@@ -232,6 +236,37 @@ TEST(GoldenCorpus, BabblerUnderFaults) {
       runCanonical(factory,
                    std::make_unique<adv::RandomGraphAdversary>(16, 0.5, 9),
                    /*rounds=*/48, /*seed=*/0xA008, &fc));
+}
+
+// ------------------------------------------------------ dataset replay
+
+// Pins the full dataset pipeline against the repository history: text
+// parse of the committed fixture (label interning, interval merging,
+// bucketing), compilation to the delta timeline, the content hash of the
+// canonical serialization, and a flood replay through TraceAdversary.
+// Any drift in parser semantics, compiled layout, or replay order fails
+// here even if text and cache paths drift together (which the
+// differential checks cannot see).
+TEST(GoldenCorpus, TraceReplayFixture) {
+  const std::string path =
+      std::string(DYNET_GOLDEN_DIR) + "/fixture.events";
+  // Parse straight from text — no sidecar cache read/write, so the golden
+  // dir stays pristine and the rendering exercises the parser every run.
+  const dataset::CompiledTrace trace =
+      dataset::compile(dataset::parseEventListFile(path));
+  std::ostringstream out;
+  out << "num_nodes=" << trace.num_nodes << "\n";
+  out << "num_rounds=" << trace.rounds << "\n";
+  out << "content_hash=" << dataset::contentHash(trace) << "\n";
+  auto shared = std::make_shared<const dataset::CompiledTrace>(trace);
+  adv::TraceReplayOptions options;
+  options.policy = adv::TraceReplayOptions::EndPolicy::kMirror;
+  proto::FloodFactory factory(0, 0x2a, 8, proto::FloodMode::kDeterministic,
+                              /*halt_round=*/40);
+  out << runCanonical(factory,
+                      std::make_unique<adv::TraceAdversary>(shared, options),
+                      /*rounds=*/48, /*seed=*/0xA009);
+  expectGolden("trace_replay_fixture", out.str());
 }
 
 // ------------------------------------------- lower-bound constructions

@@ -16,6 +16,16 @@
 //   $ dynet_cli --campaign-watch dir [--interval-ms N]   # poll until done
 //   $ dynet_cli --worker [--emit-events]       # internal: shard worker loop
 //
+//   $ dynet_cli --trace-info data.events [--trace-bucket W] [--no-trace-cache]
+//   $ dynet_cli --trace-compile data.events [--out data.dtc]
+//   $ dynet_cli --protocol flood --adversary trace --trace-path data.events
+//               [--trace-policy wrap|clamp|mirror] [--trace-offset-seeded]
+//               [--no-trace-spine] [--trace-bucket W] [--anonymous]
+//
+// Trace datasets (event lists, snapshot dirs, compiled .dtc caches) are
+// documented in docs/DATASETS.md; --trace-info prints a density summary
+// without running anything, --trace-compile writes the binary cache.
+//
 // `--list` prints the valid protocol/adversary names; an unknown name does
 // the same and exits non-zero.  --metrics-out writes the metric catalog of
 // docs/OBSERVABILITY.md (summarize or diff it with dynet_stats);
@@ -35,6 +45,7 @@
 #include "campaign/shard_exec.h"
 #include "campaign/spec.h"
 #include "campaign/worker.h"
+#include "dataset/compiled_format.h"
 #include "net/churn.h"
 #include "net/diameter.h"
 #include "obs/json.h"
@@ -181,6 +192,55 @@ int runCampaignStatusMode(const std::string& dir, bool watch,
   }
 }
 
+int runTraceInfoMode(util::Cli& cli, const std::string& path) {
+  dataset::LoadOptions options;
+  options.bucket = cli.real("trace-bucket", 1.0);
+  options.use_cache = !cli.flag("no-trace-cache");
+  options.write_cache = options.use_cache;
+  cli.rejectUnknown();
+  const dataset::LoadedTrace loaded = dataset::loadTrace(path, options);
+  const dataset::CompiledTrace& trace = *loaded.trace;
+  const dataset::TraceSummary s = dataset::summarize(trace);
+  util::Table table({"field", "value"});
+  table.row().cell("source").cell(path);
+  table.row().cell("loaded from").cell(loaded.from_cache ? "compiled cache"
+                                                         : "text parse");
+  table.row().cell("nodes").cell(static_cast<std::int64_t>(s.num_nodes));
+  table.row().cell("rounds").cell(static_cast<std::int64_t>(s.rounds));
+  table.row().cell("labeled ids").cell(trace.labels.empty() ? "no" : "yes");
+  table.row().cell("initial edges").cell(
+      static_cast<std::int64_t>(s.initial_edges));
+  table.row().cell("delta records").cell(
+      static_cast<std::int64_t>(s.delta_records));
+  table.row().cell("min edges").cell(static_cast<std::int64_t>(s.min_edges));
+  table.row().cell("max edges").cell(static_cast<std::int64_t>(s.max_edges));
+  table.row().cell("mean edges").cell(s.mean_edges, 2);
+  table.row().cell("bucket").cell(trace.bucket, 3);
+  table.row().cell("source hash").cell(campaign::hashHex(trace.source_hash));
+  table.row().cell("content hash").cell(
+      campaign::hashHex(dataset::contentHash(trace)));
+  std::cout << table.toString();
+  return 0;
+}
+
+int runTraceCompileMode(util::Cli& cli, const std::string& path) {
+  const std::string out_path = cli.str("out", path + ".dtc");
+  dataset::LoadOptions options;
+  options.bucket = cli.real("trace-bucket", 1.0);
+  // Always recompile from the source; --trace-compile exists to (re)write
+  // the cache, so trusting an existing sidecar would defeat the point.
+  options.use_cache = false;
+  options.write_cache = false;
+  cli.rejectUnknown();
+  const dataset::LoadedTrace loaded = dataset::loadTrace(path, options);
+  dataset::writeCompiledFile(out_path, *loaded.trace);
+  std::cout << "compiled trace written to " << out_path << " ("
+            << loaded.trace->num_nodes << " node(s), " << loaded.trace->rounds
+            << " round(s), content hash "
+            << campaign::hashHex(dataset::contentHash(*loaded.trace)) << ")\n";
+  return 0;
+}
+
 int runCampaignMode(util::Cli& cli, const std::string& spec_path) {
   campaign::CampaignOptions options;
   options.checkpoint_dir = cli.str("checkpoint", "");
@@ -255,6 +315,12 @@ int run(int argc, char** argv) {
     cli.rejectUnknown();
     return campaign::workerMain(std::cin, std::cout, emit_events);
   }
+  if (cli.has("trace-info")) {
+    return runTraceInfoMode(cli, cli.str("trace-info", ""));
+  }
+  if (cli.has("trace-compile")) {
+    return runTraceCompileMode(cli, cli.str("trace-compile", ""));
+  }
   if (cli.has("campaign")) {
     return runCampaignMode(cli, cli.str("campaign", ""));
   }
@@ -295,6 +361,14 @@ int run(int argc, char** argv) {
   shard.c = cli.real("c", 0.25);
   shard.max_rounds =
       static_cast<sim::Round>(cli.integer("max-rounds", 20'000'000));
+  // Dataset replay knobs (--trace is taken by the simulation-trace dump, so
+  // the dataset path flag is --trace-path).
+  shard.trace = cli.str("trace-path", "");
+  shard.trace_policy = cli.str("trace-policy", "wrap");
+  shard.trace_offset = cli.flag("trace-offset-seeded");
+  shard.trace_spine = !cli.flag("no-trace-spine");
+  shard.trace_bucket = cli.real("trace-bucket", 1.0);
+  shard.anonymous = cli.flag("anonymous");
   const std::string trace_path = cli.str("trace", "");
   const std::string metrics_path = cli.str("metrics-out", "");
   const std::string chrome_path = cli.str("chrome-trace", "");
@@ -313,6 +387,21 @@ int run(int argc, char** argv) {
   }
   if (!known) {
     failUnknown("adversary", shard.adversary, campaign::adversaryNames());
+  }
+  if (shard.adversary == "trace") {
+    DYNET_CHECK(!shard.trace.empty())
+        << "--adversary trace requires --trace-path <dataset>";
+    if (!cli.has("nodes")) {
+      // Convenience: adopt the dataset's node count (memoized load, so
+      // makeAdversary below reuses the same parse).
+      shard.n = dataset::loadTraceShared(shard.trace,
+                                         {.bucket = shard.trace_bucket})
+                    ->num_nodes;
+    }
+  } else {
+    DYNET_CHECK(shard.trace.empty())
+        << "--trace-path only applies to --adversary trace (got '"
+        << shard.adversary << "')";
   }
 
   std::unique_ptr<sim::ProcessFactory> factory =
@@ -340,6 +429,8 @@ int run(int argc, char** argv) {
   }
   sim::EngineConfig config;
   config.max_rounds = shard.max_rounds;
+  config.anonymous =
+      shard.anonymous || shard.protocol.rfind("anon_", 0) == 0;
   config.record_topologies = true;
   config.record_actions = !trace_path.empty();
   if (want_metrics || want_spans) {
