@@ -64,6 +64,15 @@ build/bench/bench_trace_replay --quick \
   --json-out="$ds_dir/BENCH_trace_replay.json" > /dev/null
 rm -rf "$ds_dir"
 
+echo "=== diameter smoke (round bounds + JSON artifact) ==="
+# bench_diameter DYNET_CHECKs every protocol guarantee against the BFS
+# oracle; here we also assert the rounds-vs-bound artifact is written.
+build/bench/bench_diameter --quick \
+  --json-out "$obs_dir/BENCH_diameter.json" > /dev/null
+test -s "$obs_dir/BENCH_diameter.json"
+build/tools/dynet_cli --protocol diam_exact --adversary ach_gadget \
+  --nodes 36 --gadget-intersect --max-rounds 200 --seed 3
+
 echo "=== campaign kill-and-resume smoke ==="
 scripts/campaign_smoke.sh build/tools/dynet_cli
 

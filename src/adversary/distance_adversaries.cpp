@@ -1,0 +1,24 @@
+#include "adversary/distance_adversaries.h"
+
+#include "adversary/static_adversaries.h"
+#include "lowerbound/distance_lb.h"
+
+namespace dynet::adv {
+
+std::unique_ptr<sim::Adversary> makeAchGadgetAdversary(sim::NodeId n,
+                                                       int width,
+                                                       std::uint64_t seed,
+                                                       bool intersect) {
+  const lb::AchBitGadget gadget(n, width, seed, intersect);
+  return std::make_unique<StaticAdversary>(gadget.graph());
+}
+
+std::unique_ptr<sim::Adversary> makeBkGadgetAdversary(sim::NodeId n,
+                                                      int width, int stretch,
+                                                      std::uint64_t seed,
+                                                      bool orthogonal) {
+  const lb::BkApproxGadget gadget(n, width, stretch, seed, orthogonal);
+  return std::make_unique<StaticAdversary>(gadget.graph());
+}
+
+}  // namespace dynet::adv

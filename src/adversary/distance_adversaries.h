@@ -1,0 +1,33 @@
+// Static adversaries over the distance-hardness graph families
+// (src/lowerbound/distance_lb.h, docs/DIAMETER.md): each trial builds the
+// seeded gadget instance once and replays it every round through the
+// delta-native StaticAdversary, so the diam_* protocols and the bench run
+// against exactly the graphs whose diameters encode set-disjointness /
+// orthogonal-vectors instances.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/adversary.h"
+
+namespace dynet::adv {
+
+/// Abboud–Censor-Hillel–Khoury bit gadget: diameter 5 when `intersect`,
+/// else 4.  `width` 0 = auto.  Throws util::CheckError below the family
+/// minimum (lb::AchBitGadget::minNodes).
+std::unique_ptr<sim::Adversary> makeAchGadgetAdversary(sim::NodeId n,
+                                                       int width,
+                                                       std::uint64_t seed,
+                                                       bool intersect);
+
+/// Bringmann–Krinninger orthogonal-vectors gadget: diameter 2*stretch+3
+/// when `orthogonal`, else 2*stretch+2.  `width` 0 = auto (2, must be
+/// even), `stretch` >= 0.  Throws util::CheckError below
+/// lb::BkApproxGadget::minNodes.
+std::unique_ptr<sim::Adversary> makeBkGadgetAdversary(sim::NodeId n,
+                                                      int width, int stretch,
+                                                      std::uint64_t seed,
+                                                      bool orthogonal);
+
+}  // namespace dynet::adv

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "adversary/churn_adversaries.h"
+#include "adversary/distance_adversaries.h"
 #include "adversary/dual_graph.h"
 #include "adversary/dynamic_adversaries.h"
 #include "adversary/static_adversaries.h"
@@ -23,6 +24,8 @@
 #include "protocols/consensus_known_d.h"
 #include "protocols/consensus_via_leader.h"
 #include "protocols/counting.h"
+#include "protocols/diameter_approx.h"
+#include "protocols/distance_bfs.h"
 #include "protocols/flood.h"
 #include "protocols/hear_from_n.h"
 #include "protocols/leader_unknown_d.h"
@@ -52,7 +55,8 @@ const std::vector<std::string>& protocolNames() {
       "flood",       "cflood",           "leader_known_d",
       "consensus_known_d", "count",      "hear_from_n",
       "leader_unknown_d",  "consensus_unknown_d",
-      "anon_count",  "anon_size_estimate"};
+      "anon_count",  "anon_size_estimate",
+      "diam_exact",  "diam_2approx",     "diam_32approx"};
   return names;
 }
 
@@ -61,7 +65,7 @@ const std::vector<std::string>& adversaryNames() {
       "static_path",  "static_star",   "static_ring", "static_torus",
       "random_tree",  "anchored_star", "rotating_star", "shuffle_path",
       "interval",     "edge_churn",    "gnp",         "dual_ring",
-      "trace"};
+      "trace",        "ach_gadget",    "bk_gadget"};
   return names;
 }
 
@@ -105,6 +109,15 @@ std::unique_ptr<sim::ProcessFactory> makeProtocolFactory(
     const int k = shard.k > 0 ? shard.k : 32;
     return std::make_unique<proto::AnonSizeEstimateFactory>(k, /*gamma=*/3,
                                                             seed);
+  }
+  if (shard.protocol == "diam_exact") {
+    return std::make_unique<proto::DiamExactFactory>();
+  }
+  if (shard.protocol == "diam_2approx") {
+    return std::make_unique<proto::Diam2ApproxFactory>(0);
+  }
+  if (shard.protocol == "diam_32approx") {
+    return std::make_unique<proto::Diam32ApproxFactory>(seed);
   }
   if (shard.protocol == "leader_unknown_d" ||
       shard.protocol == "consensus_unknown_d") {
@@ -185,6 +198,14 @@ std::unique_ptr<sim::Adversary> makeAdversary(const ShardConfig& shard,
     options.spine = shard.trace_spine;
     return std::make_unique<adv::TraceAdversary>(std::move(trace), options);
   }
+  if (shard.adversary == "ach_gadget") {
+    return adv::makeAchGadgetAdversary(n, shard.gadget_width, seed,
+                                       shard.gadget_intersect);
+  }
+  if (shard.adversary == "bk_gadget") {
+    return adv::makeBkGadgetAdversary(n, shard.gadget_width, shard.stretch,
+                                      seed, shard.gadget_intersect);
+  }
   DYNET_CHECK(false) << "unknown adversary '" << shard.adversary << "'";
   return nullptr;  // unreachable
 }
@@ -257,6 +278,11 @@ ShardResult runShard(const ShardConfig& shard, obs::MetricsRegistry* prof) {
         // explicit user choice.
         config.anonymous =
             shard.anonymous || shard.protocol.rfind("anon_", 0) == 0;
+        // The diam_* protocols are specified in full-duplex broadcast
+        // CONGEST (a sender still hears its neighbors that round); the
+        // flag lives outside the canonical JSON, so shard hashes are
+        // untouched.
+        config.duplex = shard.protocol.rfind("diam_", 0) == 0;
         sim::Engine engine(std::move(processes), makeAdversary(shard, seed),
                            config, seed, &ws);
         if (faulty) {

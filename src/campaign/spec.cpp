@@ -171,6 +171,16 @@ std::string ShardConfig::canonicalJson() const {
   if (anonymous) {
     out << ",\"anonymous\":true";
   }
+  // Gadget keys follow the same only-when-set rule (docs/DIAMETER.md).
+  if (gadget_width != 0) {
+    out << ",\"gadget_width\":" << gadget_width;
+  }
+  if (stretch != 0) {
+    out << ",\"stretch\":" << stretch;
+  }
+  if (gadget_intersect) {
+    out << ",\"gadget_intersect\":true";
+  }
   out << ",\"fault\":";
   writeFault(out, fault);
   out << "}";
@@ -187,7 +197,8 @@ ShardConfig parseShardConfig(const obs::Json& json) {
                      "max_rounds", "diameter", "k", "p", "interval", "churn",
                      "n_estimate", "c", "trace", "trace_policy",
                      "trace_offset", "trace_spine", "trace_bucket",
-                     "anonymous", "fault"},
+                     "anonymous", "gadget_width", "stretch",
+                     "gadget_intersect", "fault"},
                     "shard config");
   ShardConfig shard;
   shard.protocol = json.at("protocol").str();
@@ -222,6 +233,13 @@ ShardConfig parseShardConfig(const obs::Json& json) {
   shard.trace_spine = boolOr(json, "trace_spine", true);
   shard.trace_bucket = numberOr(json, "trace_bucket", 1.0);
   shard.anonymous = boolOr(json, "anonymous", false);
+  shard.gadget_width = static_cast<int>(numberOr(json, "gadget_width", 0));
+  shard.stretch = static_cast<int>(numberOr(json, "stretch", 0));
+  shard.gadget_intersect = boolOr(json, "gadget_intersect", false);
+  DYNET_CHECK(shard.gadget_width >= 0)
+      << "shard gadget_width=" << shard.gadget_width << " (need >= 0)";
+  DYNET_CHECK(shard.stretch >= 0)
+      << "shard stretch=" << shard.stretch << " (need >= 0)";
   if (json.has("fault")) {
     shard.fault = parseFault(json.at("fault"));
   }
@@ -247,7 +265,8 @@ CampaignSpec CampaignSpec::parse(const std::string& json_text) {
                      "seeds", "max_rounds", "diameter", "k", "p", "interval",
                      "churn", "n_estimate", "c", "trace", "trace_policy",
                      "trace_offset", "trace_spine", "trace_bucket",
-                     "anonymous", "retry"},
+                     "anonymous", "gadget_width", "stretch",
+                     "gadget_intersect", "retry"},
                     "campaign spec");
   CampaignSpec spec;
   spec.name = stringOr(root, "name", "campaign");
@@ -299,6 +318,13 @@ CampaignSpec CampaignSpec::parse(const std::string& json_text) {
   spec.trace_spine = boolOr(root, "trace_spine", true);
   spec.trace_bucket = numberOr(root, "trace_bucket", 1.0);
   spec.anonymous = boolOr(root, "anonymous", false);
+  spec.gadget_width = static_cast<int>(numberOr(root, "gadget_width", 0));
+  spec.stretch = static_cast<int>(numberOr(root, "stretch", 0));
+  spec.gadget_intersect = boolOr(root, "gadget_intersect", false);
+  DYNET_CHECK(spec.gadget_width >= 0)
+      << "campaign gadget_width=" << spec.gadget_width << " (need >= 0)";
+  DYNET_CHECK(spec.stretch >= 0)
+      << "campaign stretch=" << spec.stretch << " (need >= 0)";
   for (const std::string& adversary : spec.adversaries) {
     validateTraceFields(adversary, spec.trace, spec.trace_policy,
                         spec.trace_bucket);
@@ -370,6 +396,9 @@ std::vector<ShardConfig> CampaignSpec::expandShards() const {
             shard.trace_spine = trace_spine;
             shard.trace_bucket = trace_bucket;
             shard.anonymous = anonymous;
+            shard.gadget_width = gadget_width;
+            shard.stretch = stretch;
+            shard.gadget_intersect = gadget_intersect;
             shard.fault = fault;
             shards.push_back(std::move(shard));
           }

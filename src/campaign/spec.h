@@ -98,6 +98,12 @@ struct ShardConfig {
   /// Anonymous-network mode (EngineConfig::anonymous).  The anon_*
   /// protocols force it on at execution time regardless of this flag.
   bool anonymous = false;
+  // Distance-hardness gadget knobs (adversary == "ach_gadget" or
+  // "bk_gadget"; docs/DIAMETER.md).  Emitted into the canonical JSON only
+  // when set away from their defaults, preserving existing shard hashes.
+  int gadget_width = 0;         // 0 = auto per family
+  int stretch = 0;              // bk_gadget antenna length
+  bool gadget_intersect = false;  // plant the diameter-raising instance
   ShardFault fault;
 
   /// Single-line JSON with a fixed key order and round-trippable number
@@ -137,6 +143,9 @@ struct CampaignSpec {
   bool trace_spine = true;
   double trace_bucket = 1.0;
   bool anonymous = false;
+  int gadget_width = 0;
+  int stretch = 0;
+  bool gadget_intersect = false;
   RetryPolicy retry;
 
   /// Parses + validates spec JSON text (docs/CAMPAIGNS.md).  Unknown keys,

@@ -1,0 +1,106 @@
+// Hardness-frontier graph families for distance computation
+// (docs/DIAMETER.md).
+//
+// AchBitGadget — the sparse bit-gadget of Abboud–Censor-Hillel–Khoury
+// ("Near-Linear Lower Bounds for Distributed Distance Computations"): two
+// index sides a_i / b_i cross-wired through 2w complement-coded bit nodes so
+// that dist(a_i, b_j) = 3 for i != j, while dist(a_i, b_i) is 5 iff i lies
+// in the intersection of the planted set-disjointness inputs (x, y) and at
+// most 4 otherwise.  Deciding diameter 4 vs 5 therefore solves DISJ_m, whose
+// Omega(m) bits must cross a cut of only O(w) edges — the Omega~(n)
+// round frontier bench_diameter plots.  Theta(m w) = Theta(n log n) edges.
+//
+// BkApproxGadget — the Bringmann–Krinninger approximation-hardness shape: an
+// orthogonal-vectors graph (two sides of m vectors over w coordinate nodes,
+// one hub per side, hubs adjacent) whose diameter is 2 when every cross pair
+// of vectors shares a coordinate and 3 when some pair is orthogonal — the
+// 2-vs-3 gap behind (3/2 - eps)-approximation hardness.  A `stretch` >= 0
+// hangs a pendant path ("antenna") of that length off every vector node, so
+// the deciding distances become tip-to-tip and the family's diameter scales
+// to 2p+2 vs 2p+3: the orthogonality question stays embedded at every
+// diameter scale.  (Uniform edge subdivision would NOT work here: interior
+// nodes of subdivided edges reach 3p from each other in both cases,
+// collapsing the gap — hence antennas.)
+//
+// Both families pad to exactly n nodes with pendant nodes placed where they
+// cannot extend the diameter, choose the largest m that fits, and throw
+// loud util::CheckError (never silently clamp) when n is below the family
+// minimum — tests/lowerbound_chain_test.cpp pins the boundaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace dynet::lb {
+
+class AchBitGadget {
+ public:
+  /// `width` = bits per index (0 = auto: just enough for the largest m that
+  /// fits n).  `intersect` plants a common element in (x, y) — diameter 5 —
+  /// or forces x and y disjoint — diameter 4.  The inputs themselves are
+  /// seeded random subsets.  Throws util::CheckError if n < minNodes(width)
+  /// or width < 0.
+  AchBitGadget(net::NodeId n, int width, std::uint64_t seed, bool intersect);
+
+  /// Smallest n the family supports at this width (m = 2 sides).
+  static net::NodeId minNodes(int width);
+
+  net::GraphPtr graph() const { return graph_; }
+  net::NodeId numNodes() const { return n_; }
+  /// Indices per side.
+  int m() const { return m_; }
+  int width() const { return width_; }
+  /// Ground truth: do the planted inputs intersect?
+  bool intersects() const { return intersects_; }
+  /// 5 when the inputs intersect, else 4.
+  int expectedDiameter() const { return intersects_ ? 5 : 4; }
+  /// Edges crossing the Alice/Bob cut (the 2w bit-bridges plus the spine
+  /// edge): the denominator of the Omega(m / (cut * B)) round frontier.
+  int cutEdges() const { return 2 * width_ + 1; }
+
+ private:
+  net::NodeId n_;
+  int m_;
+  int width_;
+  bool intersects_;
+  net::GraphPtr graph_;
+};
+
+class BkApproxGadget {
+ public:
+  /// `width` = coordinates (0 = auto 2; must be even and >= 2: vector
+  /// supports have exactly width/2 coordinates so an orthogonal pair is
+  /// representable).  `stretch` >= 0 is the antenna length (0 = the bare
+  /// 2-vs-3 graph).  `orthogonal` plants an orthogonal pair — diameter
+  /// 2*stretch+3 — or gives every vector coordinate 0 — diameter
+  /// 2*stretch+2.  Throws util::CheckError on odd or negative width,
+  /// stretch < 0, or n < minNodes(width, stretch).
+  BkApproxGadget(net::NodeId n, int width, int stretch, std::uint64_t seed,
+                 bool orthogonal);
+
+  /// Smallest n the family supports (m = 2 vectors per side).
+  static net::NodeId minNodes(int width, int stretch);
+
+  net::GraphPtr graph() const { return graph_; }
+  net::NodeId numNodes() const { return n_; }
+  int m() const { return m_; }
+  int width() const { return width_; }
+  int stretch() const { return stretch_; }
+  bool orthogonal() const { return orthogonal_; }
+  /// 2*stretch + 2, plus 1 with an orthogonal pair.
+  int expectedDiameter() const {
+    return 2 * stretch_ + 2 + (orthogonal_ ? 1 : 0);
+  }
+
+ private:
+  net::NodeId n_;
+  int m_;
+  int width_;
+  int stretch_;
+  bool orthogonal_;
+  net::GraphPtr graph_;
+};
+
+}  // namespace dynet::lb

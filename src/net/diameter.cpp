@@ -162,4 +162,55 @@ std::vector<std::uint64_t> causalReach(const TopologySeq& topologies,
   return reached;
 }
 
+std::vector<int> bfsDistances(const Graph& g, NodeId source) {
+  const NodeId n = g.numNodes();
+  DYNET_CHECK(source >= 0 && source < n) << "source out of range";
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next_frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  int d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    next_frontier.clear();
+    for (const NodeId v : frontier) {
+      for (const NodeId u : g.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(u)] < 0) {
+          dist[static_cast<std::size_t>(u)] = d;
+          next_frontier.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+  return dist;
+}
+
+std::vector<int> staticEccentricities(const Graph& g) {
+  const NodeId n = g.numNodes();
+  std::vector<int> eccs(static_cast<std::size_t>(n), 0);
+  std::atomic<bool> disconnected{false};
+  util::ThreadPool::shared().parallelFor(
+      static_cast<std::size_t>(n), [&](std::size_t i) {
+        const std::vector<int> dist = bfsDistances(g, static_cast<NodeId>(i));
+        int ecc = 0;
+        for (const int d : dist) {
+          if (d < 0) {
+            disconnected.store(true, std::memory_order_relaxed);
+            return;
+          }
+          ecc = std::max(ecc, d);
+        }
+        eccs[i] = ecc;
+      });
+  DYNET_CHECK(!disconnected.load()) << "staticEccentricities: graph is "
+                                       "disconnected";
+  return eccs;
+}
+
+int staticDiameter(const Graph& g) {
+  const std::vector<int> eccs = staticEccentricities(g);
+  return *std::max_element(eccs.begin(), eccs.end());
+}
+
 }  // namespace dynet::net

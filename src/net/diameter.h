@@ -46,4 +46,21 @@ inline bool bitmapTest(const std::vector<std::uint64_t>& bits, NodeId v) {
   return (bits[static_cast<std::size_t>(v) >> 6] >> (v & 63)) & 1;
 }
 
+// --- Static-graph reference oracle (docs/DIAMETER.md) -----------------------
+//
+// Plain single-graph BFS, used as the all-pairs ground truth the diameter
+// protocol suite is tested against (tests/diameter_test.cpp) and for the
+// gadget families' self-reported diameters (src/lowerbound/distance_lb.h).
+
+/// Hop distances from `source` in one static graph; -1 for unreachable.
+std::vector<int> bfsDistances(const Graph& g, NodeId source);
+
+/// Eccentricity of every node (max hop distance to any other node), via one
+/// BFS per source, parallelized over sources on util::ThreadPool::shared().
+/// Requires a connected graph (throws util::CheckError otherwise).
+std::vector<int> staticEccentricities(const Graph& g);
+
+/// Hop diameter of one static connected graph: max staticEccentricities.
+int staticDiameter(const Graph& g);
+
 }  // namespace dynet::net

@@ -1,0 +1,108 @@
+// 3/2-approximate diameter in broadcast CONGEST (EngineConfig::duplex).
+//
+// Roditty–Vassilevska Williams / Holzer–Wattenhofer style schedule over a
+// seeded dominating-set-sized source sample S, |S| ~ sqrt(n log n):
+//
+//   P1  pipelined BFS from S                 -> every v knows d(s, v), s in S
+//   P2  max-flood of (d(S, v), v)            -> all agree on w, the node
+//                                               farthest from S
+//   P3  BFS from w                           -> every v knows d(w, v)
+//   P4  distributed top-|S| selection of the |S| nodes closest to w ("Nw")
+//   P5  pipelined BFS from Nw
+//   P6  max-flood of the largest distance learned anywhere
+//
+// Output D-hat = max over all computed BFS distances.  Every value is a true
+// distance, so D-hat <= D unconditionally; the sampling argument gives
+// floor(2D/3) <= D-hat with high probability per seed (and the seed is fixed
+// per run, so tests pin concrete instances).  All six phase budgets are
+// affine in n: total 6n + 3|S| + 9 = O(n) rounds.  Deterministic: the source
+// sample comes from the factory seed, never from per-round coins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "protocols/distance_bfs.h"
+#include "sim/process.h"
+
+namespace dynet::proto {
+
+class Diam32ApproxProcess : public sim::Process {
+ public:
+  /// `sources` must be the factory's seed-derived sample — identical at
+  /// every node (sorted, distinct, non-empty).
+  Diam32ApproxProcess(sim::NodeId node, sim::NodeId num_nodes,
+                      std::vector<sim::NodeId> sources);
+
+  /// Integer-only |S| ~ ceil(sqrt(n log2 n)): no floating point, so the
+  /// sample (and every committed golden digest) is platform-independent.
+  static sim::NodeId sampleSize(sim::NodeId n);
+  /// The seed-derived source sample, sorted ascending.
+  static std::vector<sim::NodeId> sampleSources(sim::NodeId n,
+                                                std::uint64_t seed);
+  static sim::Round scheduleRounds(sim::NodeId n) {
+    return 6 * static_cast<sim::Round>(n) + 3 * sampleSize(n) + 9;
+  }
+
+  sim::Action onRound(sim::Round round, util::CoinStream& coins) override;
+  void onDeliver(sim::Round round, bool sent,
+                 std::span<const sim::Message> received) override;
+  bool done() const override { return done_; }
+  /// The estimate D-hat (valid once done).
+  std::uint64_t output() const override {
+    return static_cast<std::uint64_t>(global_max_ < 0 ? 0 : global_max_);
+  }
+  std::uint64_t stateDigest() const override;
+  void exportMetrics(
+      std::vector<std::pair<std::string, double>>& out) const override;
+
+  int estimate() const { return global_max_; }
+
+ private:
+  // Phase end rounds (1-based rounds; phase p spans (endOf(p-1), endOf(p)]).
+  sim::Round e1() const { return k_ + n_ + 2; }
+  sim::Round e2() const { return e1() + n_ + 1; }
+  sim::Round e3() const { return e2() + n_ + 1; }
+  sim::Round e4() const { return e3() + k_ + n_ + 2; }
+  sim::Round e5() const { return e4() + k_ + n_ + 2; }
+  sim::Round e6() const { return e5() + n_ + 1; }
+
+  void notice(int dist);
+  void beginPhase(sim::Round round);
+
+  sim::NodeId node_;
+  sim::NodeId n_;
+  sim::NodeId k_;  // |S|
+  int width_;
+  std::vector<sim::NodeId> sources_;
+  int phase_begun_ = 1;
+
+  BfsPipeline pipe_s_;    // P1: distances from S
+  int d_s_ = -1;          // d(S, node) = min over S
+  int best_ds_ = -1;      // P2 max-flood value
+  sim::NodeId w_ = -1;    // P2 max-flood argmax (the believed w)
+  int dist_w_ = -1;       // P3: d(w, node)
+  // P4: the |S| smallest (d(w, v), v) pairs seen so far, plus the subset
+  // not yet rebroadcast.  Semi-lattice merge: order-insensitive, so every
+  // engine path reaches the same set.
+  std::set<std::pair<std::int32_t, sim::NodeId>> topk_;
+  std::set<std::pair<std::int32_t, sim::NodeId>> unsent_;
+  BfsPipeline pipe_nw_;   // P5: distances from Nw
+  int global_max_ = -1;   // running max of every learned distance
+  bool done_ = false;
+};
+
+class Diam32ApproxFactory : public sim::ProcessFactory {
+ public:
+  explicit Diam32ApproxFactory(std::uint64_t seed) : seed_(seed) {}
+  std::unique_ptr<sim::Process> create(sim::NodeId node,
+                                       sim::NodeId num_nodes) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace dynet::proto

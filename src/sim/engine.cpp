@@ -39,8 +39,9 @@ Engine::Engine(const ProcessFactory& factory,
   n_ = adversary_->numNodes();
   DYNET_CHECK(n_ >= 1) << "adversary has " << n_ << " nodes";
   // Anonymous mode keeps the object path: SoA models address state by
-  // real node id, which is exactly what the mode hides.
-  if (config_.soa_state && !config_.anonymous) {
+  // real node id, which is exactly what the mode hides.  Duplex mode does
+  // too: the SoA delivery loops implement send-xor-receive only.
+  if (config_.soa_state && !config_.anonymous && !config_.duplex) {
     soa_ = factory.createSoA(n_);
   }
   if (soa_ == nullptr) {

@@ -2,6 +2,8 @@
 //
 // Executes Processes against an Adversary under the CONGEST constraints:
 // send-xor-receive, per-message bit budget, connected per-round topology.
+// (EngineConfig::duplex switches delivery to full-duplex broadcast CONGEST
+// for the distance-computation suite; off by default.)
 // Each round runs through the phase pipeline of sim/phase.h (fault →
 // compute → adversary → delivery → observe); cross-cutting layers (fault
 // injection, observability, trace recording) live in their own phases
@@ -93,6 +95,18 @@ struct EngineConfig {
   /// Anonymous runs force the object process path (SoA models index state
   /// by real node id).
   bool anonymous = false;
+  /// Full-duplex broadcast-CONGEST delivery (docs/DIAMETER.md): a sender
+  /// also receives its sending neighbors' messages that round, delivered
+  /// with sent=true and the same canonical ascending-sender order (and the
+  /// same fault fates / anonymous permutation) a pure receiver would see.
+  /// The paper's send-xor-receive model stays the default (false), byte-
+  /// identical to pre-duplex behavior: the flag is only read inside
+  /// delivery.  The distance-computation protocols (diam_*) require this
+  /// mode — their O(n)-round pipelined BFS schedules assume standard
+  /// CONGEST, which is also where the ACH/BK lower bounds are stated.
+  /// Duplex runs force the object process path (the SoA delivery loops
+  /// implement send-xor-receive only).
+  bool duplex = false;
   /// Stop as soon as every process reports done().  With a FaultInjector,
   /// crashed nodes are exempt: the run stops when every live node is done.
   bool stop_when_all_done = true;

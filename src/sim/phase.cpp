@@ -308,7 +308,12 @@ void deliverThroughArena(RoundContext& ctx) {
       continue;  // crashed: no onDeliver
     }
     Process& p = *processes[vi];
-    if (actions[vi].send) {
+    const bool sent = actions[vi].send;
+    // Send-xor-receive (the paper's model): a sender hears nothing this
+    // round.  Under EngineConfig::duplex (broadcast CONGEST for the
+    // distance-computation suite) a sender falls through and collects its
+    // sending neighbors' messages like any receiver, with sent=true.
+    if (sent && !ctx.config->duplex) {
       if (wants_refs[vi] != 0) {
         p.onDeliverRefs(ctx.round, true, {});
       } else {
@@ -367,9 +372,9 @@ void deliverThroughArena(RoundContext& ctx) {
       refs = ws.anon_refs;
     }
     if (wants_refs[vi] != 0) {
-      p.onDeliverRefs(ctx.round, false, refs);
+      p.onDeliverRefs(ctx.round, sent, refs);
     } else {
-      p.onDeliver(ctx.round, false, arena.materialize(refs));
+      p.onDeliver(ctx.round, sent, arena.materialize(refs));
     }
   }
   arena.endRound();
@@ -405,7 +410,8 @@ void DeliveryPhase::run(RoundContext& ctx) {
       continue;  // crashed: no onDeliver
     }
     const Action& a = ws.actions[static_cast<std::size_t>(v)];
-    if (a.send) {
+    // Same duplex fall-through as the arena path above.
+    if (a.send && !ctx.config->duplex) {
       processes[static_cast<std::size_t>(v)]->onDeliver(ctx.round, true, {});
       continue;
     }
@@ -448,7 +454,7 @@ void DeliveryPhase::run(RoundContext& ctx) {
     if (ctx.config->anonymous) {
       anonShuffle(ws.inbox, ctx, v);
     }
-    processes[static_cast<std::size_t>(v)]->onDeliver(ctx.round, false,
+    processes[static_cast<std::size_t>(v)]->onDeliver(ctx.round, a.send,
                                                       ws.inbox);
   }
   closeSpan(ctx, "delivery");

@@ -60,7 +60,9 @@ class Process {
 
   /// End-of-round delivery.  If the node sent, `received` is empty and
   /// `sent` is true.  A receiving node with no sending neighbor gets an
-  /// empty span with `sent` false.
+  /// empty span with `sent` false.  Under EngineConfig::duplex a sender
+  /// also receives: `sent` is true AND `received` holds its sending
+  /// neighbors' messages.
   virtual void onDeliver(Round round, bool sent,
                          std::span<const Message> received) = 0;
 

@@ -34,8 +34,11 @@
 #include "dataset/trace.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
+#include "lowerbound/distance_lb.h"
 #include "net/graph.h"
 #include "obs/sink.h"
+#include "protocols/diameter_approx.h"
+#include "protocols/distance_bfs.h"
 #include "protocols/flood.h"
 #include "protocols/max_flood.h"
 #include "protocols/oracles.h"
@@ -51,7 +54,9 @@ struct FuzzConfig {
   NodeId n = 0;
   Round rounds = 0;
   int adversary = 0;       // index into the zoo below
-  int protocol = 0;        // 0 flood-det, 1 flood-rand, 2 max_flood, 3 babbler
+  // 0 flood-det, 1 flood-rand, 2 max_flood, 3 babbler, 4 diam_exact,
+  // 5 diam_2approx, 6 diam_32approx (4+ run under EngineConfig::duplex).
+  int protocol = 0;
   std::uint64_t adv_seed = 0;
   std::uint64_t run_seed = 0;
   bool with_sink = false;
@@ -59,7 +64,13 @@ struct FuzzConfig {
   faults::FaultConfig fc;
 };
 
-constexpr int kAdversaryKinds = 10;
+constexpr int kAdversaryKinds = 12;
+
+/// bk_gadget antenna length for a config (also used by the min-n clamp in
+/// sampleConfig, so it must be a pure function of adv_seed).
+int bkStretch(const FuzzConfig& c) {
+  return static_cast<int>(c.adv_seed % 3);
+}
 
 std::unique_ptr<Adversary> makeAdversary(const FuzzConfig& c) {
   switch (c.adversary) {
@@ -83,6 +94,17 @@ std::unique_ptr<Adversary> makeAdversary(const FuzzConfig& c) {
     case 8:
       return std::make_unique<adv::RandomGraphAdversary>(
           c.n, 0.2 + 0.1 * static_cast<double>(c.adv_seed % 5), c.adv_seed);
+    case 10: {
+      const lb::AchBitGadget gadget(c.n, /*width=*/0, c.adv_seed,
+                                    /*intersect=*/c.adv_seed % 2 == 0);
+      return std::make_unique<adv::StaticAdversary>(gadget.graph());
+    }
+    case 11: {
+      const lb::BkApproxGadget gadget(c.n, /*width=*/0, bkStretch(c),
+                                      c.adv_seed,
+                                      /*orthogonal=*/(c.adv_seed / 2) % 2 == 0);
+      return std::make_unique<adv::StaticAdversary>(gadget.graph());
+    }
     default: {
       // Dataset replay: a synthetic trace deliberately SHORTER than the run
       // (c.rounds/3) so every end policy wraps/clamps/mirrors mid-run, with
@@ -123,8 +145,14 @@ std::unique_ptr<ProcessFactory> makeFactory(const FuzzConfig& c) {
       return std::make_unique<proto::MaxFloodFactory>(std::move(values), 8,
                                                       c.rounds);
     }
-    default:
+    case 3:
       return std::make_unique<proto::RandomBabblerFactory>(20);
+    case 4:
+      return std::make_unique<proto::DiamExactFactory>();
+    case 5:
+      return std::make_unique<proto::Diam2ApproxFactory>(0);
+    default:
+      return std::make_unique<proto::Diam32ApproxFactory>(c.adv_seed);
   }
 }
 
@@ -137,7 +165,7 @@ FuzzConfig sampleConfig(std::uint64_t master_seed, int index) {
   c.n = static_cast<NodeId>(8 + rng.below(17));  // 8..24
   c.rounds = static_cast<Round>(30 + rng.below(41));  // 30..70
   c.adversary = static_cast<int>(rng.below(kAdversaryKinds));
-  c.protocol = static_cast<int>(rng.below(4));
+  c.protocol = static_cast<int>(rng.below(7));
   c.adv_seed = rng.u64();
   c.run_seed = rng.u64();
   c.with_sink = rng.below(3) == 0;
@@ -164,6 +192,18 @@ FuzzConfig sampleConfig(std::uint64_t master_seed, int index) {
     c.fc.crash_window = std::max<Round>(1, c.rounds / 2);
     c.fc.restart = true;
     c.fc.restart_downtime = 8;
+  }
+  // The gadget families throw below their minimum size instead of clamping
+  // (tests/lowerbound_chain_test.cpp), so the sampler clamps for them.
+  if (c.adversary == 10) {
+    c.n = std::max(c.n, lb::AchBitGadget::minNodes(0));
+  } else if (c.adversary == 11) {
+    c.n = std::max(c.n, lb::BkApproxGadget::minNodes(0, bkStretch(c)));
+  }
+  // The diam_* schedules are affine in n; give them room to cross their
+  // phase boundaries (lazy phase-2 init, top-k selection) mid-fuzz.
+  if (c.protocol >= 4) {
+    c.rounds = std::max<Round>(c.rounds, 3 * c.n + 8);
   }
   return c;
 }
@@ -237,6 +277,9 @@ TrialArtifacts runConfig(const FuzzConfig& c, bool soa_state,
   // inputs, it does not certify model validity — so the model's
   // connectivity guard is off here (and off identically on both paths).
   config.check_connectivity = false;
+  // Distance protocols are specified in full-duplex broadcast CONGEST;
+  // the flag must be identical on both sides of every comparison.
+  config.duplex = c.protocol >= 4;
   config.metrics = c.with_sink ? &sink : nullptr;
   config.soa_state = soa_state;
   config.arena_delivery = arena_delivery;

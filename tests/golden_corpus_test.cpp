@@ -28,6 +28,7 @@
 
 #include "adversary/churn_adversaries.h"
 #include "adversary/dynamic_adversaries.h"
+#include "adversary/static_adversaries.h"
 #include "adversary/trace_adversary.h"
 #include "cc/disjointness_cp.h"
 #include "dataset/compiled_format.h"
@@ -36,8 +37,12 @@
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "lowerbound/composition.h"
+#include "lowerbound/distance_lb.h"
+#include "net/graph.h"
 #include "protocols/cflood.h"
 #include "protocols/counting.h"
+#include "protocols/diameter_approx.h"
+#include "protocols/distance_bfs.h"
 #include "protocols/flood.h"
 #include "protocols/gossip.h"
 #include "protocols/hear_from_n.h"
@@ -117,13 +122,15 @@ sim::EngineConfig canonicalConfig(sim::Round rounds) {
 std::string runCanonical(const sim::ProcessFactory& factory,
                          std::unique_ptr<sim::Adversary> adversary,
                          sim::Round rounds, std::uint64_t seed,
-                         const faults::FaultConfig* fc = nullptr) {
+                         const faults::FaultConfig* fc = nullptr,
+                         bool duplex = false) {
   const sim::NodeId n = adversary->numNodes();
   // Factory construction takes the shipping default path (soa_state ON for
   // factories with an SoA model), so the .golden files pin the SoA engine
   // against the repository history, not just the legacy object path.
-  sim::Engine engine(factory, std::move(adversary), canonicalConfig(rounds),
-                     seed);
+  sim::EngineConfig config = canonicalConfig(rounds);
+  config.duplex = duplex;
+  sim::Engine engine(factory, std::move(adversary), config, seed);
   if (fc != nullptr) {
     engine.setFaultInjector(std::make_shared<const faults::FaultInjector>(
         faults::FaultPlan(n, *fc, seed ^ 0xFA), &factory));
@@ -236,6 +243,47 @@ TEST(GoldenCorpus, BabblerUnderFaults) {
       runCanonical(factory,
                    std::make_unique<adv::RandomGraphAdversary>(16, 0.5, 9),
                    /*rounds=*/48, /*seed=*/0xA008, &fc));
+}
+
+// ------------------------------------------- distance protocols (duplex)
+
+// The diam_* runs pin the full-duplex delivery path (EngineConfig::duplex)
+// against the repository history — none of the other corpus entries reach
+// it — together with the gadget constructions they are designed to decide.
+
+TEST(GoldenCorpus, DiamExactOnAchGadget) {
+  const lb::AchBitGadget gadget(20, /*width=*/0, /*seed=*/0xD1,
+                                /*intersect=*/true);
+  proto::DiamExactFactory factory;
+  expectGolden(
+      "diam_exact_ach_gadget",
+      runCanonical(factory,
+                   std::make_unique<adv::StaticAdversary>(gadget.graph()),
+                   /*rounds=*/proto::DiamExactProcess::scheduleRounds(20) + 1,
+                   /*seed=*/0xA00A, nullptr, /*duplex=*/true));
+}
+
+TEST(GoldenCorpus, Diam2ApproxOnBkGadget) {
+  const lb::BkApproxGadget gadget(24, /*width=*/0, /*stretch=*/1,
+                                  /*seed=*/0xD2, /*orthogonal=*/false);
+  proto::Diam2ApproxFactory factory(0);
+  expectGolden(
+      "diam_2approx_bk_gadget",
+      runCanonical(factory,
+                   std::make_unique<adv::StaticAdversary>(gadget.graph()),
+                   /*rounds=*/proto::Diam2ApproxProcess::scheduleRounds(24) + 1,
+                   /*seed=*/0xA00B, nullptr, /*duplex=*/true));
+}
+
+TEST(GoldenCorpus, Diam32ApproxOnTorus) {
+  proto::Diam32ApproxFactory factory(/*seed=*/0xD3);
+  expectGolden(
+      "diam_32approx_torus",
+      runCanonical(
+          factory,
+          std::make_unique<adv::StaticAdversary>(net::makeTorus(4, 5)),
+          /*rounds=*/proto::Diam32ApproxProcess::scheduleRounds(20) + 1,
+          /*seed=*/0xA00C, nullptr, /*duplex=*/true));
 }
 
 // ------------------------------------------------------ dataset replay

@@ -6,8 +6,10 @@
 #include "cc/disjointness_cp.h"
 #include "lowerbound/chain.h"
 #include "lowerbound/composition.h"
+#include "lowerbound/distance_lb.h"
 #include "lowerbound/gamma.h"
 #include "lowerbound/lambda.h"
+#include "net/diameter.h"
 #include "util/check.h"
 
 namespace dynet::lb {
@@ -470,6 +472,89 @@ TEST(ConsensusNetwork, EstimateValidForBothSizes) {
   EXPECT_LE(std::abs(n_est - net0.numNodes()) / net0.numNodes(), 1.0 / 3.0 + 1e-9);
   EXPECT_LE(std::abs(net1.nEstimate() - net1.numNodes()) / net1.numNodes(),
             1.0 / 3.0 + 1e-9);
+}
+
+// --- Distance-hardness gadget boundaries (docs/DIAMETER.md). ---
+//
+// The families promise LOUD CheckError below their minimum size — never a
+// silently clamped smaller instance — and exact n-node padding above it.
+
+TEST(AchGadget, ThrowsBelowMinimumInsteadOfClamping) {
+  for (const int width : {0, 1, 3, 8}) {
+    const net::NodeId min_n = AchBitGadget::minNodes(width);
+    EXPECT_THROW(AchBitGadget(min_n - 1, width, 1, false), util::CheckError)
+        << "width=" << width;
+    const AchBitGadget gadget(min_n, width, 1, false);
+    EXPECT_EQ(gadget.numNodes(), min_n) << "width=" << width;
+    EXPECT_EQ(gadget.graph()->numNodes(), min_n) << "width=" << width;
+    EXPECT_EQ(gadget.m(), 2) << "width=" << width;
+  }
+  EXPECT_THROW(AchBitGadget(64, -1, 1, false), util::CheckError);
+  EXPECT_THROW(AchBitGadget::minNodes(-3), util::CheckError);
+}
+
+TEST(AchGadget, PadsToExactlyNAndKeepsThePromisedDiameter) {
+  // Odd and even widths, clean and planted, padded and tight: the BFS
+  // oracle must see exactly the diameter the family advertises.
+  for (const int width : {0, 1, 2, 5}) {
+    for (const bool intersect : {false, true}) {
+      for (const net::NodeId n : {AchBitGadget::minNodes(width),
+                                  static_cast<net::NodeId>(40),
+                                  static_cast<net::NodeId>(57)}) {
+        const AchBitGadget gadget(n, width, 7, intersect);
+        EXPECT_EQ(gadget.numNodes(), n);
+        EXPECT_EQ(gadget.intersects(), intersect);
+        EXPECT_EQ(net::staticDiameter(*gadget.graph()),
+                  gadget.expectedDiameter())
+            << "n=" << n << " width=" << width << " intersect=" << intersect;
+      }
+    }
+  }
+}
+
+TEST(AchGadget, AutoWidthGrowsMWithN) {
+  const AchBitGadget small(16, 0, 3, false);
+  const AchBitGadget large(96, 0, 3, false);
+  EXPECT_GT(large.m(), small.m());
+  EXPECT_GE(large.width(), small.width());
+  // m indices must be distinct in `width` bits.
+  EXPECT_LE(small.m(), 1 << small.width());
+  EXPECT_LE(large.m(), 1 << large.width());
+  EXPECT_EQ(large.cutEdges(), 2 * large.width() + 1);
+}
+
+TEST(BkGadget, RejectsOddWidthNegativeStretchAndTinyN) {
+  EXPECT_THROW(BkApproxGadget(64, 3, 1, 1, false), util::CheckError);
+  EXPECT_THROW(BkApproxGadget(64, -2, 1, 1, false), util::CheckError);
+  EXPECT_THROW(BkApproxGadget(64, 2, -1, 1, false), util::CheckError);
+  EXPECT_THROW(BkApproxGadget::minNodes(5, 0), util::CheckError);
+  for (const int stretch : {0, 1, 4}) {
+    const net::NodeId min_n = BkApproxGadget::minNodes(0, stretch);
+    EXPECT_THROW(BkApproxGadget(min_n - 1, 0, stretch, 1, false),
+                 util::CheckError)
+        << "stretch=" << stretch;
+    const BkApproxGadget gadget(min_n, 0, stretch, 1, false);
+    EXPECT_EQ(gadget.numNodes(), min_n) << "stretch=" << stretch;
+    EXPECT_EQ(gadget.m(), 2) << "stretch=" << stretch;
+  }
+}
+
+TEST(BkGadget, DiameterScalesWithStretchAndPlantedPair) {
+  for (const int stretch : {0, 1, 2}) {
+    for (const bool orthogonal : {false, true}) {
+      for (const net::NodeId n : {BkApproxGadget::minNodes(4, stretch),
+                                  static_cast<net::NodeId>(48)}) {
+        const BkApproxGadget gadget(n, 4, stretch, 11, orthogonal);
+        EXPECT_EQ(gadget.numNodes(), n);
+        EXPECT_EQ(gadget.expectedDiameter(),
+                  2 * stretch + 2 + (orthogonal ? 1 : 0));
+        EXPECT_EQ(net::staticDiameter(*gadget.graph()),
+                  gadget.expectedDiameter())
+            << "n=" << n << " stretch=" << stretch
+            << " orthogonal=" << orthogonal;
+      }
+    }
+  }
 }
 
 }  // namespace

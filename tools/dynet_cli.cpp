@@ -22,6 +22,9 @@
 //               [--trace-policy wrap|clamp|mirror] [--trace-offset-seeded]
 //               [--no-trace-spine] [--trace-bucket W] [--anonymous]
 //
+//   $ dynet_cli --protocol diam_exact --adversary ach_gadget --nodes 64
+//               [--gadget-width W] [--stretch S] [--gadget-intersect]
+//
 // Trace datasets (event lists, snapshot dirs, compiled .dtc caches) are
 // documented in docs/DATASETS.md; --trace-info prints a density summary
 // without running anything, --trace-compile writes the binary cache.
@@ -369,6 +372,10 @@ int run(int argc, char** argv) {
   shard.trace_spine = !cli.flag("no-trace-spine");
   shard.trace_bucket = cli.real("trace-bucket", 1.0);
   shard.anonymous = cli.flag("anonymous");
+  // Distance-hardness gadget knobs (--adversary ach_gadget | bk_gadget).
+  shard.gadget_width = static_cast<int>(cli.integer("gadget-width", 0));
+  shard.stretch = static_cast<int>(cli.integer("stretch", 0));
+  shard.gadget_intersect = cli.flag("gadget-intersect");
   const std::string trace_path = cli.str("trace", "");
   const std::string metrics_path = cli.str("metrics-out", "");
   const std::string chrome_path = cli.str("chrome-trace", "");
@@ -431,6 +438,8 @@ int run(int argc, char** argv) {
   config.max_rounds = shard.max_rounds;
   config.anonymous =
       shard.anonymous || shard.protocol.rfind("anon_", 0) == 0;
+  // diam_* protocols are specified in full-duplex broadcast CONGEST.
+  config.duplex = shard.protocol.rfind("diam_", 0) == 0;
   config.record_topologies = true;
   config.record_actions = !trace_path.empty();
   if (want_metrics || want_spans) {
